@@ -1,0 +1,52 @@
+"""Figure 8: DCT ratio of TCP in and outside a client-server PQUIC tunnel.
+
+Paper setup: TCPCubic file transfers of 1.5 kB - 10 MB, default parameter
+ranges {d in [2.5, 25] ms, bw in [5, 50] Mbps, l = 0}, WSP-sampled; the
+CDF of DCT(in)/DCT(out).  Expected shape: short files near or below the
+44-byte/packet bound (1.031), longer files stable slightly above it.
+"""
+
+import pytest
+
+from repro.experiments import DEFAULT_RANGES, run_tcp_direct, run_tcp_through_tunnel, wsp_sample
+
+from _util import FULL, cdf_summary, print_table, write_rows
+
+SIZES = [1_500, 10_000, 50_000, 1_000_000] + ([10_000_000] if FULL else [])
+N_POINTS = 12 if FULL else 4
+
+
+def run_figure8():
+    points = wsp_sample(DEFAULT_RANGES, count=N_POINTS, seed=8)
+    ratios = {size: [] for size in SIZES}
+    for i, point in enumerate(points):
+        for size in SIZES:
+            direct = run_tcp_direct(size, d_ms=point["d"],
+                                    bw_mbps=point["bw"], seed=100 + i)
+            tunnel = run_tcp_through_tunnel(size, d_ms=point["d"],
+                                            bw_mbps=point["bw"], seed=100 + i)
+            if direct.completed and tunnel.completed:
+                ratios[size].append(tunnel.dct / direct.dct)
+    return ratios
+
+
+def test_fig8_dct_ratio_cdf(benchmark):
+    ratios = benchmark.pedantic(run_figure8, rounds=1, iterations=1)
+    header = "size        DCT in/out CDF  (paper: mostly within [0.95, 1.25], bound 1.031 for small files)"
+    rows = [f"{size:>10}  {cdf_summary(values)}"
+            for size, values in ratios.items()]
+    print_table("Figure 8 — VPN DCT ratio", header, rows)
+    write_rows("fig8_vpn_dct", header, rows)
+
+    all_values = [v for values in ratios.values() for v in values]
+    assert all_values, "no completed runs"
+    # Shape: the tunnel costs a bounded overhead — ratios cluster near 1.
+    import statistics
+
+    med = statistics.median(all_values)
+    assert 0.9 < med < 1.3
+    # Small transfers stay near/below the per-packet overhead bound.
+    small = ratios[1_500]
+    assert statistics.median(small) < 1.1
+    # No catastrophic blowup anywhere.
+    assert max(all_values) < 2.0

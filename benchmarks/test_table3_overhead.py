@@ -1,0 +1,132 @@
+"""Table 3: benchmarking plugins (goodput and plugin load time).
+
+The paper's 10 Gbps testbed measures CPU-bound goodput for a 1 GB
+download under each plugin configuration, plus plugin loading times (cold
+vs cached).  Our substrate is a simulator, so the CPU-bound analogue is
+the *wall-clock* cost of pushing a fixed transfer through the stack:
+goodput = bytes / host-CPU-seconds.  What must reproduce is the ordering
+and rough factors of Table 3:
+
+    no plugin > monitoring > multipath(1 path) > monitoring+multipath
+              > FEC XOR EOS ~ FEC RLC EOS > FEC XOR full > FEC RLC full
+
+and cached plugin loading orders of magnitude below cold loading.
+"""
+
+import statistics
+import time
+
+import pytest
+
+from repro.core import PluginCache, PluginInstance
+from repro.experiments import run_quic_transfer
+from repro.plugins.datagram import build_datagram_plugin
+from repro.plugins.fec import build_fec_plugin
+from repro.plugins.monitoring import build_monitoring_plugin
+from repro.plugins.multipath import build_multipath_plugin
+from repro.quic import QuicConfiguration
+from repro.quic.connection import QuicConnection
+
+from _util import FULL, print_table, write_rows
+
+SIZE = 3_000_000 if FULL else 1_000_000
+RUNS = 5 if FULL else 3
+
+CONFIGS = [
+    ("PQUIC, no plugin", []),
+    ("Monitoring (a)", [build_monitoring_plugin]),
+    ("Multipath 1-path (b)", [build_multipath_plugin]),
+    ("a and b", [build_monitoring_plugin, build_multipath_plugin]),
+    ("FEC XOR EOS", [lambda: build_fec_plugin("xor", "eos")]),
+    ("FEC RLC EOS", [lambda: build_fec_plugin("rlc", "eos")]),
+    ("FEC XOR", [lambda: build_fec_plugin("xor", "full")]),
+    ("FEC RLC", [lambda: build_fec_plugin("rlc", "full")]),
+]
+
+
+def goodput_for(builders):
+    samples = []
+    for run in range(RUNS):
+        t0 = time.perf_counter()
+        result = run_quic_transfer(
+            SIZE, d_ms=1, bw_mbps=10_000, seed=run + 1,
+            client_plugins=builders, server_plugins=builders,
+        )
+        wall = time.perf_counter() - t0
+        assert result.completed
+        samples.append(SIZE * 8 / wall / 1e6)  # Mbps of host CPU
+    med = statistics.median(samples)
+    spread = (statistics.pstdev(samples) / med) if med else 0.0
+    return med, spread
+
+
+def load_times():
+    """Cold load (build+verify+instantiate PREs) vs cached reuse (§2.5)."""
+    builders = {
+        "Monitoring": build_monitoring_plugin,
+        "Multipath": build_multipath_plugin,
+        "FEC RLC": lambda: build_fec_plugin("rlc", "full"),
+    }
+    rows = {}
+    for label, build in builders.items():
+        plugin = build()
+        wire = plugin.serialize()
+        conn = QuicConnection(QuicConfiguration(is_client=True))
+        # Cold load = what a host does with a plugin it has never seen:
+        # decode the bytecode, statically verify it, build the PREs.
+        from repro.core.plugin import Plugin
+
+        t0 = time.perf_counter()
+        fresh = Plugin.deserialize(wire)
+        instance = PluginInstance(fresh, conn)
+        instance.attach()
+        cold = time.perf_counter() - t0
+
+        cache = PluginCache()
+        cache.store(plugin)
+        inst = cache.instantiate(plugin.name, conn)
+        cache.release(inst)
+        conn2 = QuicConnection(QuicConfiguration(is_client=True))
+        t0 = time.perf_counter()
+        reused = cache.instantiate(plugin.name, conn2)
+        reused.attach()
+        cached = time.perf_counter() - t0
+        rows[label] = (cold, cached)
+    return rows
+
+
+def test_table3_plugin_overhead(benchmark):
+    results = benchmark.pedantic(
+        lambda: [(label, *goodput_for(builders)) for label, builders in CONFIGS],
+        rounds=1, iterations=1,
+    )
+    loads = load_times()
+    header = (f"{'Plugin':<22} {'x~ Goodput':>12} {'sigma/x~':>9}"
+              "   (relative to no-plugin)")
+    base = results[0][1]
+    rows = []
+    for label, med, spread in results:
+        rows.append(f"{label:<22} {med:>9.1f} Mbps {spread:>8.1%}"
+                    f"   {med / base:>6.2f}x")
+    rows.append("")
+    rows.append(f"{'Plugin load time':<22} {'cold':>12} {'cached':>12}")
+    for label, (cold, cached) in loads.items():
+        rows.append(f"{label:<22} {cold * 1000:>9.2f} ms {cached * 1e6:>9.1f} us")
+    print_table("Table 3 — plugin overhead & load time", header, rows)
+    write_rows("table3_overhead", header, rows)
+
+    by_label = {label: med for label, med, _ in results}
+    base = by_label["PQUIC, no plugin"]
+    # Ordering (paper's story): every plugin costs something...
+    assert by_label["Monitoring (a)"] < base
+    # ...multipath costs more than monitoring alone...
+    assert by_label["Multipath 1-path (b)"] < by_label["Monitoring (a)"] * 1.1
+    # ...combining is still efficient (less than additive)...
+    assert by_label["a and b"] > 0.5 * by_label["Multipath 1-path (b)"]
+    # ...full FEC costs more than EOS FEC, and RLC more than XOR.
+    assert by_label["FEC RLC"] < by_label["FEC RLC EOS"]
+    assert by_label["FEC RLC"] < by_label["FEC XOR"] * 1.2
+    assert by_label["FEC RLC"] < base
+    # Cached reuse is orders of magnitude cheaper than cold loading.
+    for label, (cold, cached) in loads.items():
+        assert cached < cold / 10, label

@@ -1,0 +1,27 @@
+"""The §4.2 use case: a QUIC VPN carrying TCP Cubic traffic.
+
+Runs the same TCP Cubic file download twice — once directly over the
+network, once through a PQUIC tunnel built on the Datagram plugin — and
+reports the Download Completion Time ratio, the paper's Figure-8 metric.
+
+Run:  python examples/vpn_tunnel.py
+"""
+
+from repro.experiments import run_tcp_direct, run_tcp_through_tunnel
+
+
+def main() -> None:
+    print(f"{'size':>10} {'direct DCT':>12} {'tunnel DCT':>12} {'ratio':>7}")
+    for size in (1_500, 10_000, 50_000, 1_000_000, 10_000_000):
+        direct = run_tcp_direct(size, d_ms=10, bw_mbps=20, seed=3)
+        tunnel = run_tcp_through_tunnel(size, d_ms=10, bw_mbps=20, seed=3)
+        ratio = tunnel.dct / direct.dct
+        print(f"{size:>10} {direct.dct:>11.3f}s {tunnel.dct:>11.3f}s "
+              f"{ratio:>7.3f}")
+    print("\nThe VPN adds a fixed per-packet encapsulation cost, so short "
+          "transfers sit near 1.0 and long transfers approach the "
+          "overhead bound (paper: 1.031 for 44 B per 1400-B packet).")
+
+
+if __name__ == "__main__":
+    main()

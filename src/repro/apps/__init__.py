@@ -1,0 +1,6 @@
+"""Applications built on the PQUIC public API (VPN, bulk transfer)."""
+
+from .transfer import BulkClient, BulkServer
+from .vpn import VpnTunnel
+
+__all__ = ["BulkClient", "BulkServer", "VpnTunnel"]

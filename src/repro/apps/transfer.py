@@ -1,0 +1,76 @@
+"""A bulk-transfer application: the GET-style workload of §4.3/§4.4.
+
+"We record the time between a GET request issued by the client and the
+reception of the last byte of the server response."  The client opens a
+stream, writes ``GET <size>\\n`` and measures until FIN; the server
+answers each request with that many bytes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.quic import QuicConnection
+
+
+class BulkServer:
+    """Serves GET requests on any connection it is attached to."""
+
+    def __init__(self) -> None:
+        self.requests = 0
+
+    def attach(self, conn: QuicConnection, pump: Callable[[], None]) -> None:
+        buffers: dict[int, bytearray] = {}
+
+        def on_stream_data(stream_id: int, data: bytes, fin: bool) -> None:
+            buf = buffers.setdefault(stream_id, bytearray())
+            buf.extend(data)
+            if b"\n" not in buf:
+                return
+            line, _, _rest = bytes(buf).partition(b"\n")
+            if not line.startswith(b"GET "):
+                return
+            del buffers[stream_id]
+            size = int(line[4:])
+            self.requests += 1
+            conn.send_stream_data(stream_id, b"D" * size, fin=True)
+            pump()
+
+        conn.on_stream_data = on_stream_data
+
+
+class BulkClient:
+    """Issues one GET and records its Download Completion Time."""
+
+    def __init__(self, conn: QuicConnection, pump: Callable[[], None]):
+        self.conn = conn
+        self.pump = pump
+        self.received = 0
+        self.expected: Optional[int] = None
+        self.start_time: Optional[float] = None
+        self.completion_time: Optional[float] = None
+        conn.on_stream_data = self._on_stream_data
+
+    def request(self, size: int, now: float) -> None:
+        self.expected = size
+        self.received = 0
+        self.start_time = now
+        self.completion_time = None
+        stream_id = self.conn.create_stream()
+        self.conn.send_stream_data(stream_id, b"GET %d\n" % size, fin=False)
+        self.pump()
+
+    def _on_stream_data(self, stream_id: int, data: bytes, fin: bool) -> None:
+        self.received += len(data)
+        if fin and self.expected is not None and self.received >= self.expected:
+            self.completion_time = self.conn.now
+
+    @property
+    def completed(self) -> bool:
+        return self.completion_time is not None
+
+    @property
+    def dct(self) -> Optional[float]:
+        if self.completion_time is None or self.start_time is None:
+            return None
+        return self.completion_time - self.start_time

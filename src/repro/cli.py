@@ -1,0 +1,206 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``demo [name]``         — run one of the example scenarios inline;
+* ``transfer``            — one PQUIC GET transfer with chosen plugins;
+* ``vpn``                 — TCP-through-VPN DCT comparison (Figure 8's metric);
+* ``protoops``            — list the protocol-operation registry;
+* ``inspect <plugin>``    — stats + verification + termination report for
+  a built-in plugin;
+* ``trace``               — a transfer with the qlog tracer, JSON to stdout.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+BUILTIN_PLUGINS = {
+    "monitoring": lambda: _import("repro.plugins.monitoring",
+                                  "build_monitoring_plugin")(),
+    "datagram": lambda: _import("repro.plugins.datagram",
+                                "build_datagram_plugin")(),
+    "multipath": lambda: _import("repro.plugins.multipath",
+                                 "build_multipath_plugin")(),
+    "fec-xor": lambda: _import("repro.plugins.fec", "build_fec_plugin")("xor", "full"),
+    "fec-rlc": lambda: _import("repro.plugins.fec", "build_fec_plugin")("rlc", "full"),
+    "fec-rlc-eos": lambda: _import("repro.plugins.fec", "build_fec_plugin")("rlc", "eos"),
+    "ccontrol": lambda: _import("repro.plugins.ccontrol",
+                                "build_ccontrol_plugin")(),
+    "ecn": lambda: _import("repro.plugins.ecn", "build_ecn_plugin")(),
+}
+
+
+def _import(module: str, name: str):
+    import importlib
+
+    return getattr(importlib.import_module(module), name)
+
+
+def cmd_demo(args) -> int:
+    import importlib
+
+    module = importlib.import_module(f"examples.{args.name}")
+    module.main()
+    return 0
+
+
+def cmd_transfer(args) -> int:
+    from repro.experiments import run_quic_transfer
+
+    builders = [BUILTIN_PLUGINS[p] for p in args.plugins]
+    result = run_quic_transfer(
+        args.size, d_ms=args.delay, bw_mbps=args.bandwidth,
+        loss_pct=args.loss, seed=args.seed,
+        client_plugins=builders, server_plugins=builders,
+        multipath="multipath" in args.plugins,
+    )
+    if not result.completed:
+        print("transfer did not complete", file=sys.stderr)
+        return 1
+    print(f"downloaded {args.size} bytes in {result.dct:.3f}s "
+          f"({args.size * 8 / result.dct / 1e6:.2f} Mbps)")
+    for key, value in sorted(result.client_stats.items()):
+        print(f"  {key}: {value}")
+    return 0
+
+
+def cmd_vpn(args) -> int:
+    from repro.experiments import run_tcp_direct, run_tcp_through_tunnel
+
+    direct = run_tcp_direct(args.size, d_ms=args.delay,
+                            bw_mbps=args.bandwidth, seed=args.seed)
+    tunnel = run_tcp_through_tunnel(
+        args.size, d_ms=args.delay, bw_mbps=args.bandwidth, seed=args.seed,
+        multipath=args.multipath,
+    )
+    print(f"direct: {direct.dct:.3f}s   tunnel: {tunnel.dct:.3f}s   "
+          f"ratio: {tunnel.dct / direct.dct:.3f}")
+    return 0
+
+
+def cmd_protoops(args) -> int:
+    from repro.quic import QuicConfiguration
+    from repro.quic.connection import QuicConnection
+
+    conn = QuicConnection(QuicConfiguration(is_client=True))
+    table = conn.protoops
+    print(f"{table.operation_count()} protocol operations "
+          f"({table.parameterized_count()} parameterized)")
+    for name in table.names:
+        op = table.get(name)
+        kind = "param" if op.parameterized else (
+            "external" if op.external else (
+                "event" if not op.defaults else "op"))
+        print(f"  {name:<32} [{kind}]")
+    return 0
+
+
+def cmd_inspect(args) -> int:
+    from repro.termination import check_termination
+
+    plugin = BUILTIN_PLUGINS[args.plugin]()
+    stats = plugin.stats()
+    print(f"plugin {stats['name']}")
+    print(f"  pluglets:     {stats['pluglets']}")
+    print(f"  instructions: {stats['instructions']}")
+    print(f"  serialized:   {stats['size_bytes']} B "
+          f"({stats['compressed_bytes']} B compressed)")
+    plugin.verify_all()
+    print("  verification: all pluglets pass the static checks")
+    for pluglet in plugin.pluglets:
+        report = check_termination(pluglet.instructions)
+        mark = "proved" if report.proven else "NOT PROVEN"
+        print(f"  {mark:>10}  {pluglet.name} "
+              f"({pluglet.anchor} @ {pluglet.protoop})")
+    return 0
+
+
+def cmd_trace(args) -> int:
+    from repro.netsim import Simulator, symmetric_topology
+    from repro.quic import ClientEndpoint, ServerEndpoint
+    from repro.quic.qlog import ConnectionTracer
+
+    sim = Simulator()
+    topo = symmetric_topology(sim, d_ms=args.delay, bw_mbps=args.bandwidth,
+                              loss_pct=args.loss, seed=args.seed)
+    server = ServerEndpoint(sim, topo.server, "server.0", 443)
+    client = ClientEndpoint(sim, topo.client, "client.0", 5000, "server.0", 443)
+    tracer = ConnectionTracer(client.conn)
+    done = [False]
+    server.on_connection = lambda conn: setattr(
+        conn, "on_stream_data", lambda sid, d, fin: done.__setitem__(0, fin))
+    client.connect()
+    sim.run_until(lambda: client.conn.is_established, timeout=5)
+    sid = client.conn.create_stream()
+    client.conn.send_stream_data(sid, b"t" * args.size, fin=True)
+    client.pump()
+    sim.run_until(lambda: done[0], timeout=120)
+    print(tracer.to_json())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Pluginized QUIC reproduction toolkit")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("demo", help="run an example scenario")
+    p.add_argument("name", nargs="?", default="quickstart",
+                   choices=["quickstart", "vpn_tunnel", "multipath_fec",
+                            "plugin_exchange", "custom_plugin"])
+    p.set_defaults(func=cmd_demo)
+
+    p = sub.add_parser("transfer", help="one PQUIC transfer with plugins")
+    p.add_argument("--size", type=int, default=1_000_000)
+    p.add_argument("--delay", type=float, default=10.0, help="one-way ms")
+    p.add_argument("--bandwidth", type=float, default=20.0, help="Mbps")
+    p.add_argument("--loss", type=float, default=0.0, help="percent")
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--plugins", nargs="*", default=[],
+                   choices=sorted(BUILTIN_PLUGINS))
+    p.set_defaults(func=cmd_transfer)
+
+    p = sub.add_parser("vpn", help="TCP in/out of the PQUIC tunnel")
+    p.add_argument("--size", type=int, default=1_000_000)
+    p.add_argument("--delay", type=float, default=10.0)
+    p.add_argument("--bandwidth", type=float, default=20.0)
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--multipath", action="store_true")
+    p.set_defaults(func=cmd_vpn)
+
+    p = sub.add_parser("protoops", help="list protocol operations")
+    p.set_defaults(func=cmd_protoops)
+
+    p = sub.add_parser("inspect", help="analyze a built-in plugin")
+    p.add_argument("plugin", choices=sorted(BUILTIN_PLUGINS))
+    p.set_defaults(func=cmd_inspect)
+
+    p = sub.add_parser("trace", help="qlog-style trace of a transfer")
+    p.add_argument("--size", type=int, default=50_000)
+    p.add_argument("--delay", type=float, default=10.0)
+    p.add_argument("--bandwidth", type=float, default=20.0)
+    p.add_argument("--loss", type=float, default=0.0)
+    p.add_argument("--seed", type=int, default=1)
+    p.set_defaults(func=cmd_trace)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early: not an error.
+        import os
+
+        try:
+            sys.stdout.close()
+        except Exception:
+            os._exit(0)
+        return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

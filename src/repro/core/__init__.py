@@ -1,0 +1,25 @@
+"""PQUIC core: protocol operations, plugins, the pluglet API and scheduler."""
+
+from .api import CORE_HELPER_NAMES, ApiViolation, PluginApi
+from .cache import FieldPolicy, PluginCache
+from .memory import AllocationError, BlockAllocator
+from .plugin import Plugin, PluginInstance, PluginRuntime, Pluglet
+from .protoop import Anchor, ProtocolOperation, ProtoopError, ProtoopTable
+
+__all__ = [
+    "Anchor",
+    "AllocationError",
+    "ApiViolation",
+    "BlockAllocator",
+    "CORE_HELPER_NAMES",
+    "FieldPolicy",
+    "Plugin",
+    "PluginApi",
+    "PluginCache",
+    "PluginInstance",
+    "PluginRuntime",
+    "Pluglet",
+    "ProtocolOperation",
+    "ProtoopError",
+    "ProtoopTable",
+]

@@ -1,0 +1,88 @@
+"""Plugin cache: reusing plugins across connections (§2.5).
+
+"To limit the injection overhead, we introduce a cache storing the plugin
+associated PREs and memory.  When a new connection injects the same
+plugin, it can reuse the cached PREs as is, without verifying or compiling
+the pluglets again.  The plugin heap must be reinitialized to avoid
+leaking information between unrelated connections."
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .plugin import Plugin, PluginInstance
+
+
+class PluginCache:
+    """Caches verified plugins and idle :class:`PluginInstance` shells."""
+
+    def __init__(self) -> None:
+        self._plugins: dict[str, Plugin] = {}
+        self._idle_instances: dict[str, list] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def store(self, plugin: Plugin) -> None:
+        """Add a plugin to the local cache (verifies it once)."""
+        plugin.verify_all()
+        self._plugins[plugin.name] = plugin
+
+    def has(self, name: str) -> bool:
+        return name in self._plugins
+
+    def get(self, name: str) -> Optional[Plugin]:
+        return self._plugins.get(name)
+
+    @property
+    def names(self) -> list:
+        return sorted(self._plugins)
+
+    def instantiate(self, name: str, conn) -> PluginInstance:
+        """Create (or reuse) an instance of a cached plugin for ``conn``.
+
+        Reuse re-targets the cached PREs at the new connection and resets
+        the plugin heap; creation compiles/validates from scratch.
+        """
+        plugin = self._plugins.get(name)
+        if plugin is None:
+            raise KeyError(f"plugin {name!r} not in cache")
+        idle = self._idle_instances.get(name)
+        if idle:
+            self.hits += 1
+            instance = idle.pop()
+            instance.conn = conn
+            instance.runtime.conn = conn
+            instance.runtime.reset_for_reuse()
+            instance._attached.clear()
+            instance.attached = False
+            return instance
+        self.misses += 1
+        return PluginInstance(plugin, conn)
+
+    def release(self, instance: PluginInstance) -> None:
+        """Return an instance to the cache when its connection completes."""
+        instance.detach()
+        self._idle_instances.setdefault(instance.plugin.name, []).append(instance)
+
+
+class FieldPolicy:
+    """Host policy over plugin field access (§2.3: "a host could reject
+    plugins based on the fields that it wishes to access")."""
+
+    def __init__(self, forbidden_reads: Optional[set] = None,
+                 forbidden_writes: Optional[set] = None):
+        self.forbidden_reads = forbidden_reads or set()
+        self.forbidden_writes = forbidden_writes or set()
+
+    def check(self, plugin_name: str, field_name: str, write: bool) -> None:
+        from .api import ApiViolation
+
+        if write and field_name in self.forbidden_writes:
+            raise ApiViolation(
+                f"policy forbids plugin {plugin_name} writing {field_name}"
+            )
+        if not write and field_name in self.forbidden_reads:
+            raise ApiViolation(
+                f"policy forbids plugin {plugin_name} reading {field_name}"
+            )

@@ -1,0 +1,430 @@
+"""Exchanging plugins over a QUIC connection (§3.4, Figure 6).
+
+Negotiation uses the two transport parameters (``supported_plugins``,
+``plugins_to_inject``).  After the handshake each side knows what the
+other offers and wants:
+
+(a) plugins already in the local cache are injected as local plugins, in
+    the order of ``plugins_to_inject``;
+(b) missing plugins are requested with a PLUGIN_VALIDATE frame carrying
+    the peer's required validation formula; the provider answers with
+    PLUGIN_PROOF (authentication paths from PVs satisfying the formula)
+    and streams the compressed plugin in PLUGIN frames, multiplexed with
+    application data through the frame scheduler.
+
+A received plugin is checked against the cached STRs of the trusted PVs;
+on success it is stored in the local cache — "Remote plugins are not
+activated for the current connection, but rather offered in subsequent
+connections".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.quic import frames as F
+from repro.quic.connection import QuicConnection, ReservedFrame
+from repro.quic.wire import Buffer
+from repro.secure.formula import Formula, parse_formula
+from repro.secure.merkle import AuthenticationPath, verify_path
+from repro.secure.validator import SignedTreeRoot
+
+from .cache import PluginCache
+from .plugin import Plugin
+from .protoop import Anchor
+
+PLUGIN_VALIDATE_TYPE = 0x60
+PLUGIN_PROOF_TYPE = 0x61
+PLUGIN_TYPE = 0x62
+PLUGIN_CHUNK = 1000
+EXCHANGE_QUEUE = "__plugin_exchange__"
+
+
+@dataclass
+class PluginValidateFrame(F.Frame):
+    """Client -> server: request a plugin, stating the required formula."""
+
+    plugin_name: str = ""
+    formula: str = ""
+    type = PLUGIN_VALIDATE_TYPE
+
+    def serialize(self, buf: Buffer) -> None:
+        buf.push_varint(self.type)
+        buf.push_varint_prefixed_bytes(self.plugin_name.encode("utf-8"))
+        buf.push_varint_prefixed_bytes(self.formula.encode("utf-8"))
+
+    @classmethod
+    def parse(cls, buf: Buffer, frame_type: int) -> "PluginValidateFrame":
+        return cls(
+            plugin_name=buf.pull_varint_prefixed_bytes().decode("utf-8"),
+            formula=buf.pull_varint_prefixed_bytes().decode("utf-8"),
+        )
+
+
+def _push_path(buf: Buffer, path: AuthenticationPath) -> None:
+    buf.push_varint(path.leaf_index)
+    buf.push_varint(path.depth)
+    buf.push_varint(len(path.siblings))
+    for s in path.siblings:
+        buf.push_bytes(s)
+    buf.push_varint(len(path.leaf_slots))
+    for slot in path.leaf_slots:
+        if slot is None:
+            buf.push_uint8(0)
+        else:
+            buf.push_uint8(1)
+            buf.push_bytes(slot)
+
+
+def _pull_path(buf: Buffer) -> AuthenticationPath:
+    leaf_index = buf.pull_varint()
+    depth = buf.pull_varint()
+    siblings = [buf.pull_bytes(32) for _ in range(buf.pull_varint())]
+    slots = []
+    for _ in range(buf.pull_varint()):
+        if buf.pull_uint8():
+            slots.append(buf.pull_bytes(32))
+        else:
+            slots.append(None)
+    return AuthenticationPath(leaf_index, depth, siblings, slots)
+
+
+@dataclass
+class ProofEntry:
+    validator_id: str
+    str_epoch: int
+    str_root: bytes
+    str_signature: bytes
+    path: AuthenticationPath
+
+    @property
+    def signed_root(self) -> SignedTreeRoot:
+        return SignedTreeRoot(self.validator_id, self.str_epoch,
+                              self.str_root, self.str_signature)
+
+
+@dataclass
+class PluginProofFrame(F.Frame):
+    """Provider -> requester: one PV's proof of consistency.
+
+    One frame per validator keeps every frame within a packet; the
+    requester accumulates proofs until the formula can be evaluated."""
+
+    plugin_name: str = ""
+    total_length: int = 0  # compressed plugin length, announced up front
+    proof: Optional[ProofEntry] = None
+    type = PLUGIN_PROOF_TYPE
+
+    def serialize(self, buf: Buffer) -> None:
+        buf.push_varint(self.type)
+        buf.push_varint_prefixed_bytes(self.plugin_name.encode("utf-8"))
+        buf.push_varint(self.total_length)
+        proof = self.proof
+        buf.push_varint_prefixed_bytes(proof.validator_id.encode("utf-8"))
+        buf.push_varint(proof.str_epoch)
+        buf.push_bytes(proof.str_root)
+        buf.push_varint_prefixed_bytes(proof.str_signature)
+        _push_path(buf, proof.path)
+
+    @classmethod
+    def parse(cls, buf: Buffer, frame_type: int) -> "PluginProofFrame":
+        name = buf.pull_varint_prefixed_bytes().decode("utf-8")
+        total = buf.pull_varint()
+        vid = buf.pull_varint_prefixed_bytes().decode("utf-8")
+        epoch = buf.pull_varint()
+        root = buf.pull_bytes(32)
+        sig = buf.pull_varint_prefixed_bytes()
+        proof = ProofEntry(vid, epoch, root, sig, _pull_path(buf))
+        return cls(plugin_name=name, total_length=total, proof=proof)
+
+
+@dataclass
+class PluginFrame(F.Frame):
+    """A chunk of the compressed plugin, akin to the crypto stream."""
+
+    plugin_name: str = ""
+    offset: int = 0
+    data: bytes = b""
+    type = PLUGIN_TYPE
+
+    def serialize(self, buf: Buffer) -> None:
+        buf.push_varint(self.type)
+        buf.push_varint_prefixed_bytes(self.plugin_name.encode("utf-8"))
+        buf.push_varint(self.offset)
+        buf.push_varint_prefixed_bytes(self.data)
+
+    @classmethod
+    def parse(cls, buf: Buffer, frame_type: int) -> "PluginFrame":
+        return cls(
+            plugin_name=buf.pull_varint_prefixed_bytes().decode("utf-8"),
+            offset=buf.pull_varint(),
+            data=buf.pull_varint_prefixed_bytes(),
+        )
+
+
+class TrustStore:
+    """The requester's trust anchors: PV public keys and cached STRs for
+    the current epoch."""
+
+    def __init__(self) -> None:
+        self._keys: dict[str, bytes] = {}
+        self._strs: dict[str, SignedTreeRoot] = {}
+
+    def trust_validator(self, validator_id: str, public_key: bytes) -> None:
+        self._keys[validator_id] = public_key
+
+    def cache_str(self, signed: SignedTreeRoot) -> None:
+        if signed.validator_id not in self._keys:
+            raise ValueError(f"untrusted validator {signed.validator_id!r}")
+        if not signed.verify(self._keys[signed.validator_id]):
+            raise ValueError("STR signature invalid")
+        self._strs[signed.validator_id] = signed
+
+    def known_str(self, validator_id: str) -> Optional[SignedTreeRoot]:
+        return self._strs.get(validator_id)
+
+    def trusted(self, validator_id: str) -> bool:
+        return validator_id in self._keys
+
+
+@dataclass
+class _IncomingPlugin:
+    total_length: int = -1
+    proofs: list = field(default_factory=list)
+    chunks: dict = field(default_factory=dict)
+
+    def complete(self) -> bool:
+        if self.total_length < 0:
+            return False
+        received = sum(len(d) for d in self.chunks.values())
+        return received >= self.total_length
+
+    def assemble(self) -> bytes:
+        out = bytearray(self.total_length)
+        for offset, data in self.chunks.items():
+            out[offset:offset + len(data)] = data
+        return bytes(out)
+
+
+class PluginExchanger:
+    """Drives plugin negotiation and transfer on one connection."""
+
+    def __init__(
+        self,
+        conn: QuicConnection,
+        cache: PluginCache,
+        trust: Optional[TrustStore] = None,
+        formula: str = "",
+        proof_provider: Optional[Callable] = None,
+        auto_inject: bool = True,
+    ):
+        self.conn = conn
+        self.cache = cache
+        self.trust = trust or TrustStore()
+        self.formula_text = formula
+        self.proof_provider = proof_provider
+        self.auto_inject = auto_inject
+        self.injected: list = []
+        self.received: list = []
+        self.rejected: dict = {}
+        self._incoming: dict[str, _IncomingPlugin] = {}
+        self._register()
+
+    # ------------------------------------------------------------------
+
+    def _register(self) -> None:
+        conn = self.conn
+        conn.frame_registry.register(PLUGIN_VALIDATE_TYPE, PluginValidateFrame)
+        conn.frame_registry.register(PLUGIN_PROOF_TYPE, PluginProofFrame)
+        conn.frame_registry.register(PLUGIN_TYPE, PluginFrame)
+        table = conn.protoops
+        table.register("process_frame", self._process_validate,
+                       param=PLUGIN_VALIDATE_TYPE, parameterized=True)
+        table.register("process_frame", self._process_proof,
+                       param=PLUGIN_PROOF_TYPE, parameterized=True)
+        table.register("process_frame", self._process_plugin,
+                       param=PLUGIN_TYPE, parameterized=True)
+        # Exchange frames are reliable: requeue them when lost.
+        for frame_type in (PLUGIN_VALIDATE_TYPE, PLUGIN_PROOF_TYPE,
+                           PLUGIN_TYPE):
+            table.register("notify_frame", self._notify_exchange_frame,
+                           param=frame_type, parameterized=True)
+        table.attach("connection_established", Anchor.POST,
+                     self._on_established)
+        # Advertise the cache contents.
+        conn.configuration.supported_plugins = list(self.cache.names)
+
+    def _notify_exchange_frame(self, conn, frame, acked: bool, pkt) -> None:
+        if not acked:
+            self._queue(frame)
+
+    def _on_established(self, conn, args, result) -> None:
+        self.negotiate()
+
+    # ------------------------------------------------------------------
+
+    def negotiate(self) -> None:
+        """Figure 6, step after handshake: inject what we have, request
+        what we miss."""
+        peer = self.conn.peer_transport_parameters
+        if peer is None:
+            return
+        for name in peer.plugins_to_inject:
+            if self.cache.has(name):
+                if self.auto_inject:
+                    self.inject_local(name)
+            else:
+                self._request(name)
+
+    def inject_local(self, name: str) -> None:
+        instance = self.cache.instantiate(name, self.conn)
+        instance.attach()
+        self.injected.append(name)
+
+    def _request(self, name: str) -> None:
+        frame = PluginValidateFrame(plugin_name=name, formula=self.formula_text)
+        self._queue(frame)
+
+    def _queue(self, frame: F.Frame) -> None:
+        self.conn.reserve_frames([
+            ReservedFrame(frame=frame, plugin=EXCHANGE_QUEUE,
+                          retransmittable=True, congestion_controlled=True)
+        ])
+
+    # --- provider side ------------------------------------------------------
+
+    def _process_validate(self, conn, frame: PluginValidateFrame, ctx) -> None:
+        if self.proof_provider is None:
+            return
+        provided = self.proof_provider(frame.plugin_name, frame.formula)
+        if provided is None:
+            return
+        compressed, proofs = provided
+        for proof in proofs:
+            self._queue(PluginProofFrame(
+                plugin_name=frame.plugin_name,
+                total_length=len(compressed),
+                proof=proof,
+            ))
+        for offset in range(0, len(compressed), PLUGIN_CHUNK):
+            self._queue(PluginFrame(
+                plugin_name=frame.plugin_name,
+                offset=offset,
+                data=compressed[offset:offset + PLUGIN_CHUNK],
+            ))
+
+    # --- requester side ------------------------------------------------------
+
+    def _process_proof(self, conn, frame: PluginProofFrame, ctx) -> None:
+        state = self._incoming.setdefault(frame.plugin_name, _IncomingPlugin())
+        state.total_length = frame.total_length
+        if frame.proof is not None:
+            state.proofs = [
+                p for p in state.proofs
+                if p.validator_id != frame.proof.validator_id
+            ] + [frame.proof]
+        self._maybe_finish(frame.plugin_name)
+
+    def _process_plugin(self, conn, frame: PluginFrame, ctx) -> None:
+        state = self._incoming.setdefault(frame.plugin_name, _IncomingPlugin())
+        state.chunks[frame.offset] = frame.data
+        self._maybe_finish(frame.plugin_name)
+
+    def _maybe_finish(self, name: str) -> None:
+        state = self._incoming.get(name)
+        if state is None or not state.complete():
+            return
+        compressed = state.assemble()
+        reason = self._verify_incoming(name, compressed, state.proofs)
+        if reason is None:
+            del self._incoming[name]
+            self.rejected.pop(name, None)
+            plugin = Plugin.decompress(compressed)
+            self.cache.store(plugin)
+            self.received.append(name)
+            return
+        self.rejected[name] = reason
+        if "unsatisfied" not in reason:
+            # Definitive failure; a formula-unsatisfied plugin stays
+            # pending in case late proof frames arrive (loss reordering).
+            del self._incoming[name]
+
+    def _verify_incoming(self, name: str, compressed: bytes, proofs: list):
+        """Check of the proof of consistency (§3.3 / Figure 5).
+
+        Returns a rejection reason, or None on success."""
+        try:
+            plugin = Plugin.decompress(compressed)
+        except Exception as exc:
+            return f"undecodable plugin: {exc}"
+        if plugin.name != name:
+            return "plugin name mismatch"
+        code = plugin.serialize()
+        satisfied = set()
+        str_mismatch: Optional[str] = None
+        for proof in proofs:
+            vid = proof.validator_id
+            if not self.trust.trusted(vid):
+                continue
+            cached = self.trust.known_str(vid)
+            if cached is None:
+                continue
+            served = proof.signed_root
+            if served.root != cached.root or served.epoch != cached.epoch:
+                # Either stale or an equivocation attempt: do not accept,
+                # and surface it for reporting.
+                str_mismatch = f"STR mismatch for {vid} (possible equivocation)"
+                continue
+            if not verify_path(cached.root, name, code, proof.path):
+                continue
+            satisfied.add(vid)
+        if not self.formula_text:
+            if satisfied or not proofs:
+                return None
+            return str_mismatch or "no valid proofs"
+        formula = parse_formula(self.formula_text)
+        if formula.evaluate(satisfied):
+            self.rejected.pop(name, None)
+            return None
+        if str_mismatch is not None:
+            return str_mismatch  # definitive: a PV served a divergent STR
+        return (
+            f"validation formula {self.formula_text!r} unsatisfied "
+            f"(valid proofs: {sorted(satisfied)})"
+        )
+
+
+def make_proof_provider(repository, validators: dict) -> Callable:
+    """Build a provider closure from PR + PV objects.
+
+    ``validators`` maps validator_id -> PluginValidator.  The provider
+    compresses the plugin from the PR and gathers authentication paths
+    from the PVs named in the requester's formula (one minimal satisfying
+    set is enough; we send proofs for every requested PV we know)."""
+    import zlib
+
+    from repro.secure.formula import parse_formula as _parse
+
+    def provider(name: str, formula_text: str):
+        code = repository.plugin_code(name)
+        if code is None:
+            return None
+        wanted = set(validators)
+        if formula_text:
+            try:
+                wanted = _parse(formula_text).validators() & set(validators)
+            except Exception:
+                return None
+        proofs = []
+        for vid in sorted(wanted):
+            validator = validators[vid]
+            if not validator.validated(name):
+                continue
+            path = validator.lookup(name)
+            signed = validator.current_str
+            proofs.append(ProofEntry(vid, signed.epoch, signed.root,
+                                     signed.signature, path))
+        return zlib.compress(code, level=9), proofs
+
+    return provider

@@ -1,0 +1,423 @@
+"""Protocol plugins: manifests, pluglets, per-connection instances (§2).
+
+A *pluglet* is bytecode implementing one function, attached to one anchor
+of one protocol operation.  A *manifest* names the plugin (globally
+unique) and lists how its pluglets link to protocol operations.  The
+combination forms a *protocol plugin*; serialized, it is exactly the
+``binding = pluginname || plugincode`` of §3.1 — what validators hash into
+their Merkle trees.
+
+Instantiation (:class:`PluginInstance`) gives the plugin its dedicated
+memory, one PRE (:class:`~repro.vm.interpreter.VirtualMachine`) per
+pluglet sharing that heap (Figure 2), and wrapper callables that marshal
+protocol-operation invocations into the VM.  A memory violation at run
+time removes the plugin and terminates the connection (§2.1).
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.errors import TransportError, TransportErrorCode
+from repro.quic.wire import Buffer
+from repro.vm.compiler import compile_pluglet
+from repro.vm.interpreter import (
+    ExecutionError,
+    MemoryViolation,
+    PluginMemory,
+    VirtualMachine,
+)
+from repro.vm.isa import decode_program, encode_program
+from repro.vm.verifier import VerificationError, verify
+
+from .api import CORE_HELPER_NAMES, ApiViolation, InvocationContext, PluginApi
+from .memory import BlockAllocator
+from .protoop import Anchor, ProtoopError
+
+_NO_RESULT = object()
+
+#: Host-side hooks per plugin-name prefix.  Pluglet bytecode is portable,
+#: but the host functions a plugin calls (its extended helper set, its
+#: frame codecs) live in the local implementation — the analogue of the
+#: PQUIC functions exposed to the PRE.  Plugin modules register a resolver
+#: so a plugin received over the wire regains its hooks.
+_HOST_RESOLVERS: dict = {}
+
+
+def register_host_resolver(name_prefix: str, resolver: Callable) -> None:
+    """``resolver(plugin_name) -> (host_helpers, frame_registrar)``."""
+    _HOST_RESOLVERS[name_prefix] = resolver
+
+
+def _resolve_host_hooks(name: str):
+    best = None
+    for prefix in _HOST_RESOLVERS:
+        if name.startswith(prefix) and (best is None or len(prefix) > len(best)):
+            best = prefix
+    if best is None:
+        return None, None
+    return _HOST_RESOLVERS[best](name)
+
+
+#: Anchor wire encoding for manifests.
+_ANCHORS = {"replace": 0, "pre": 1, "post": 2, "external": 3}
+_ANCHORS_REV = {v: k for k, v in _ANCHORS.items()}
+
+DEFAULT_PLUGIN_MEMORY = 16 * 1024
+
+
+@dataclass
+class Pluglet:
+    """One bytecode function linked to a protocol operation anchor."""
+
+    name: str
+    protoop: str
+    anchor: str  # replace | pre | post | external
+    instructions: list
+    param: Any = None  # int, str or None
+
+    def __post_init__(self):
+        if self.anchor not in _ANCHORS:
+            raise ValueError(f"unknown anchor {self.anchor!r}")
+
+    @property
+    def bytecode(self) -> bytes:
+        return encode_program(self.instructions)
+
+    @classmethod
+    def from_source(
+        cls,
+        name: str,
+        protoop: str,
+        anchor: str,
+        source: str,
+        helpers: Optional[dict] = None,
+        param: Any = None,
+    ) -> "Pluglet":
+        """Compile restricted-Python source into a pluglet (the paper's
+        C-to-eBPF step)."""
+        mapping = dict(CORE_HELPER_NAMES)
+        if helpers:
+            mapping.update(helpers)
+        return cls(
+            name=name,
+            protoop=protoop,
+            anchor=anchor,
+            instructions=compile_pluglet(source, helpers=mapping),
+            param=param,
+        )
+
+
+class Plugin:
+    """A manifest plus pluglets — the unit of distribution and validation."""
+
+    def __init__(self, name: str, pluglets: list,
+                 memory_size: int = DEFAULT_PLUGIN_MEMORY,
+                 host_helpers: Optional[Callable] = None,
+                 frame_registrar: Optional[Callable] = None):
+        self.name = name  # globally unique, e.g. "org.pquic.monitoring"
+        self.pluglets = pluglets
+        self.memory_size = memory_size
+        #: Optional factory: (runtime) -> {helper_id: callable}. The host-
+        #: side functions this plugin exposes to its bytecode, the analogue
+        #: of PQUIC functions exported to the PRE.
+        self.host_helpers = host_helpers
+        #: Optional hook: (conn) -> None registering new frame codecs.
+        self.frame_registrar = frame_registrar
+
+    # --- serialization (the §3.1 binding) -------------------------------
+
+    def serialize(self) -> bytes:
+        """``pluginname || plugincode``: manifest and all bytecodes."""
+        buf = Buffer()
+        buf.push_varint_prefixed_bytes(self.name.encode("utf-8"))
+        buf.push_varint(self.memory_size)
+        buf.push_varint(len(self.pluglets))
+        for p in self.pluglets:
+            buf.push_varint_prefixed_bytes(p.name.encode("utf-8"))
+            buf.push_varint_prefixed_bytes(p.protoop.encode("utf-8"))
+            buf.push_uint8(_ANCHORS[p.anchor])
+            if p.param is None:
+                buf.push_uint8(0)
+            elif isinstance(p.param, int):
+                buf.push_uint8(1)
+                buf.push_varint(p.param)
+            else:
+                buf.push_uint8(2)
+                buf.push_varint_prefixed_bytes(str(p.param).encode("utf-8"))
+            buf.push_varint_prefixed_bytes(p.bytecode)
+        return buf.data()
+
+    @classmethod
+    def deserialize(cls, data: bytes) -> "Plugin":
+        buf = Buffer(data)
+        name = buf.pull_varint_prefixed_bytes().decode("utf-8")
+        memory_size = buf.pull_varint()
+        count = buf.pull_varint()
+        pluglets = []
+        for _ in range(count):
+            pname = buf.pull_varint_prefixed_bytes().decode("utf-8")
+            protoop = buf.pull_varint_prefixed_bytes().decode("utf-8")
+            anchor = _ANCHORS_REV[buf.pull_uint8()]
+            tag = buf.pull_uint8()
+            if tag == 0:
+                param: Any = None
+            elif tag == 1:
+                param = buf.pull_varint()
+            else:
+                param = buf.pull_varint_prefixed_bytes().decode("utf-8")
+            bytecode = buf.pull_varint_prefixed_bytes()
+            pluglets.append(Pluglet(pname, protoop, anchor,
+                                    decode_program(bytecode), param))
+        host_helpers, frame_registrar = _resolve_host_hooks(name)
+        return cls(name, pluglets, memory_size=memory_size,
+                   host_helpers=host_helpers, frame_registrar=frame_registrar)
+
+    def compressed(self) -> bytes:
+        """The ZIP-compressed exchange format (§3.4 / Table 2)."""
+        return zlib.compress(self.serialize(), level=9)
+
+    @classmethod
+    def decompress(cls, data: bytes) -> "Plugin":
+        return cls.deserialize(zlib.decompress(data))
+
+    def verify_all(self) -> None:
+        """Static verification of every pluglet; §2.1: "A plugin is
+        rejected if any of the above checks fails for one of its
+        pluglets."""
+        for p in self.pluglets:
+            try:
+                verify(p.instructions)
+            except VerificationError as exc:
+                raise VerificationError(
+                    f"plugin {self.name}: pluglet {p.name}: {exc}"
+                )
+
+    def stats(self) -> dict:
+        """Table-2 style statistics."""
+        raw = self.serialize()
+        return {
+            "name": self.name,
+            "pluglets": len(self.pluglets),
+            "instructions": sum(len(p.instructions) for p in self.pluglets),
+            "size_bytes": len(raw),
+            "compressed_bytes": len(self.compressed()),
+        }
+
+
+class PluginRuntime:
+    """Per-(plugin, connection) execution state shared by the helpers."""
+
+    def __init__(self, plugin: Plugin, conn):
+        self.plugin = plugin
+        self.plugin_name = plugin.name
+        self.conn = conn
+        self.memory = PluginMemory(plugin.memory_size)
+        self.allocator = BlockAllocator(self.memory)
+        self._opaque: dict[int, int] = {}  # oid -> address
+        self.context: Optional[InvocationContext] = None
+        self.fields_read: set = set()
+        self.fields_written: set = set()
+        #: Plugin-specific host helpers (helper_id -> callable).
+        self.extra_helpers: dict = {}
+        #: Frame constructors usable through reserve_frames
+        #: (ctor_id -> callable(runtime, args) -> ReservedFrame).
+        self.frame_ctors: dict = {}
+        self._protoop_ids: dict[int, str] = {}
+        self._protoop_ids_rev: dict[str, int] = {}
+        #: Host helpers may deposit a Python object here to become the
+        #: protoop result (e.g. a parsed Frame); the wrapper returns it in
+        #: place of the pluglet's integer r0.
+        self.pending_result: Any = _NO_RESULT
+        if plugin.host_helpers is not None:
+            self.extra_helpers.update(plugin.host_helpers(self))
+
+    def set_result(self, value: Any) -> None:
+        self.pending_result = value
+
+    # --- naming -----------------------------------------------------------
+
+    def protoop_id(self, name: str) -> int:
+        """Stable numeric id for a protoop name (for bytecode use)."""
+        if name not in self._protoop_ids_rev:
+            new_id = len(self._protoop_ids_rev) + 1
+            self._protoop_ids_rev[name] = new_id
+            self._protoop_ids[new_id] = name
+        return self._protoop_ids_rev[name]
+
+    def protoop_name(self, op_id: int) -> str:
+        try:
+            return self._protoop_ids[op_id]
+        except KeyError:
+            raise ApiViolation(f"unknown protoop id {op_id}")
+
+    # --- policy / monitoring -------------------------------------------------
+
+    def record_access(self, field_name: str, write: bool) -> None:
+        (self.fields_written if write else self.fields_read).add(field_name)
+
+    def check_policy(self, field_name: str, write: bool) -> None:
+        policy = getattr(self.conn, "field_policy", None)
+        if policy is None:
+            return
+        policy.check(self.plugin_name, field_name, write)
+
+    # --- frame reservation -------------------------------------------------
+
+    def reserve_frame(self, ctor_id: int, args: tuple) -> int:
+        ctor = self.frame_ctors.get(ctor_id)
+        if ctor is None:
+            raise ApiViolation(f"unknown frame constructor {ctor_id}")
+        reserved = ctor(self, args)
+        if reserved is None:
+            return 0
+        self.conn.reserve_frames([reserved])
+        return 1
+
+    # --- opaque data ------------------------------------------------------
+
+    def opaque_data(self, oid: int, size: int) -> int:
+        """Named plugin-memory areas pluglets retrieve consistently."""
+        if oid not in self._opaque:
+            self._opaque[oid] = self.allocator.malloc(size)
+        return self._opaque[oid]
+
+    def reset_for_reuse(self) -> None:
+        """Reinitialize the heap for a new connection (§2.5)."""
+        self.allocator.reset()
+        self._opaque.clear()
+
+
+class PluginInstance:
+    """A plugin instantiated on one connection: PREs + wrappers + heap."""
+
+    def __init__(self, plugin: Plugin, conn):
+        plugin.verify_all()
+        self.plugin = plugin
+        self.conn = conn
+        self.runtime = PluginRuntime(plugin, conn)
+        api = PluginApi(self.runtime)
+        helper_table = api.helper_table()
+        self.vms: dict[str, VirtualMachine] = {}
+        self._attached: list = []  # (protoop, anchor, func, param)
+        for p in plugin.pluglets:
+            self.vms[p.name] = VirtualMachine(
+                p.instructions, self.runtime.memory, helpers=helper_table
+            )
+        self.attached = False
+
+    # --- invocation -----------------------------------------------------------
+
+    def invoke(self, pluglet: Pluglet, args: tuple, writable: bool) -> Any:
+        vm = self.vms[pluglet.name]
+        ctx = InvocationContext(args, writable)
+        previous = self.runtime.context
+        previous_result = self.runtime.pending_result
+        self.runtime.context = ctx
+        self.runtime.pending_result = _NO_RESULT
+        try:
+            marshaled = [ctx.marshal(i) for i in range(min(5, len(args)))]
+            value = vm.run(*marshaled)
+            if self.runtime.pending_result is not _NO_RESULT:
+                return self.runtime.pending_result
+            return value
+        except (MemoryViolation, ExecutionError, ApiViolation,
+                ProtoopError) as exc:
+            self._on_runtime_failure(exc)
+            if isinstance(exc, (ApiViolation, ProtoopError)):
+                raise
+            raise TransportError(
+                TransportErrorCode.PLUGIN_MEMORY_VIOLATION
+                if isinstance(exc, MemoryViolation)
+                else TransportErrorCode.PLUGIN_RUNTIME_ERROR,
+                f"plugin {self.plugin.name}: pluglet {pluglet.name}: {exc}",
+            )
+        finally:
+            self.runtime.context = previous
+            self.runtime.pending_result = previous_result
+
+    def _on_runtime_failure(self, exc: Exception) -> None:
+        """§2.1: any violation of memory safety results in the removal of
+        the plugin and the termination of the connection."""
+        self.detach()
+        error = TransportError(
+            TransportErrorCode.PLUGIN_MEMORY_VIOLATION
+            if isinstance(exc, MemoryViolation)
+            else TransportErrorCode.PLUGIN_RUNTIME_ERROR,
+            str(exc),
+        )
+        self.conn.abort_on_plugin_failure(error)
+
+    # --- attachment -----------------------------------------------------------
+
+    def attach(self) -> None:
+        """Insert every pluglet at its anchor; on any failure (e.g. a
+        second ``replace`` on the same protoop) the whole plugin is rolled
+        back (§2.2)."""
+        if self.attached:
+            return
+        try:
+            if self.plugin.frame_registrar is not None:
+                self.plugin.frame_registrar(self.conn)
+            for pluglet in self.plugin.pluglets:
+                self._attach_one(pluglet)
+        except ProtoopError:
+            self.detach()
+            raise
+        self.attached = True
+        self.conn.plugins[self.plugin.name] = self
+        self.conn.protoops.run(self.conn, "plugin_injected", None, self.plugin.name)
+
+    def _attach_one(self, pluglet: Pluglet) -> None:
+        table = self.conn.protoops
+        if pluglet.anchor == "replace":
+            func = self._make_replace(pluglet)
+            table.attach(pluglet.protoop, Anchor.REPLACE, func, param=pluglet.param)
+            self._attached.append((pluglet.protoop, Anchor.REPLACE, func, pluglet.param))
+        elif pluglet.anchor == "external":
+            func = self._make_replace(pluglet)
+            table.attach(pluglet.protoop, Anchor.REPLACE, func,
+                         param=pluglet.param, external=True)
+            self._attached.append((pluglet.protoop, Anchor.REPLACE, func, pluglet.param))
+        elif pluglet.anchor == "pre":
+            func = self._make_pre(pluglet)
+            table.attach(pluglet.protoop, Anchor.PRE, func, param=pluglet.param)
+            self._attached.append((pluglet.protoop, Anchor.PRE, func, pluglet.param))
+        else:
+            func = self._make_post(pluglet)
+            table.attach(pluglet.protoop, Anchor.POST, func, param=pluglet.param)
+            self._attached.append((pluglet.protoop, Anchor.POST, func, pluglet.param))
+
+    def _make_replace(self, pluglet: Pluglet) -> Callable:
+        def run_replace(conn, *args):
+            return self.invoke(pluglet, args, writable=True)
+
+        run_replace.pluglet = pluglet  # type: ignore[attr-defined]
+        return run_replace
+
+    def _make_pre(self, pluglet: Pluglet) -> Callable:
+        def run_pre(conn, args):
+            self.invoke(pluglet, args, writable=False)
+
+        run_pre.pluglet = pluglet  # type: ignore[attr-defined]
+        return run_pre
+
+    def _make_post(self, pluglet: Pluglet) -> Callable:
+        def run_post(conn, args, result):
+            self.invoke(pluglet, tuple(args) + (result,), writable=False)
+
+        run_post.pluglet = pluglet  # type: ignore[attr-defined]
+        return run_post
+
+    def detach(self) -> None:
+        table = self.conn.protoops
+        for protoop, anchor, func, param in self._attached:
+            table.detach(protoop, anchor, func, param=param)
+        self._attached.clear()
+        self.attached = False
+        # Only drop the name registration if it is ours: a rolled-back
+        # second plugin with the same name must not evict the first.
+        if self.conn.plugins.get(self.plugin.name) is self:
+            del self.conn.plugins[self.plugin.name]

@@ -1,0 +1,228 @@
+"""Protocol operations: the gray-box interface of PQUIC (§2.2, §2.3).
+
+A protocol operation (protoop) is a named, specified subroutine of the
+protocol workflow.  Each protoop exposes three anchors:
+
+* ``replace`` — the actual implementation; by default the built-in
+  function, overridable by at most one pluglet per (protoop, parameter);
+* ``pre`` / ``post`` — passive observation points run just before/after
+  the operation, any number of pluglets, read-only access.
+
+Parameterized protoops (e.g. ``process_frame``) have one behaviour per
+parameter value (the frame type), which is how plugins introduce entirely
+new frames without touching callers.  Protoops may also be *external*:
+callable only by the application (§2.4), the channel through which plugins
+extend the application-facing API.
+
+Combining plugins must not create call loops (Figure 3): the table tracks
+the stack of running protoops and aborts the connection if an operation is
+re-entered.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.errors import TransportError, TransportErrorCode
+
+
+class Anchor(enum.Enum):
+    """Pluglet insertion points on a protocol operation."""
+
+    REPLACE = "replace"
+    PRE = "pre"
+    POST = "post"
+
+
+class ProtoopError(TransportError):
+    """Raised when the protoop machinery must kill the connection."""
+
+    def __init__(self, code: TransportErrorCode, reason: str):
+        super().__init__(code, reason)
+
+
+@dataclass
+class ProtocolOperation:
+    """One protocol operation and everything attached to it."""
+
+    name: str
+    parameterized: bool = False
+    external: bool = False
+    doc: str = ""
+    #: Built-in behaviour per parameter (key None when not parameterized).
+    defaults: dict = field(default_factory=dict)
+    #: Pluglet overriding the behaviour, per parameter.
+    replacements: dict = field(default_factory=dict)
+    pre: dict = field(default_factory=dict)
+    post: dict = field(default_factory=dict)
+
+    def params(self) -> set:
+        keys = set(self.defaults) | set(self.replacements)
+        keys |= set(self.pre) | set(self.post)
+        return keys
+
+    def behavior(self, param: Any) -> Optional[Callable]:
+        if param in self.replacements:
+            return self.replacements[param]
+        return self.defaults.get(param)
+
+
+class ProtoopTable:
+    """Per-connection registry and dispatcher of protocol operations."""
+
+    def __init__(self) -> None:
+        self._ops: dict[str, ProtocolOperation] = {}
+        self._call_stack: list[tuple[str, Any]] = []
+        self.runs = 0  # total protoop invocations (monitoring/benchmarks)
+
+    # --- registration -----------------------------------------------------
+
+    def register(
+        self,
+        name: str,
+        func: Optional[Callable] = None,
+        param: Any = None,
+        parameterized: bool = False,
+        external: bool = False,
+        doc: str = "",
+    ) -> ProtocolOperation:
+        """Register a protoop, optionally with a built-in default behaviour.
+
+        Calling again with a new ``param`` adds a behaviour to an existing
+        parameterized operation.
+        """
+        op = self._ops.get(name)
+        if op is None:
+            op = ProtocolOperation(
+                name=name, parameterized=parameterized, external=external,
+                doc=doc or (func.__doc__ or "" if func else ""),
+            )
+            self._ops[name] = op
+        else:
+            if op.parameterized != parameterized:
+                raise ValueError(
+                    f"protoop {name}: parameterized mismatch on re-registration"
+                )
+        if not parameterized and param is not None:
+            raise ValueError(f"protoop {name} is not parameterized")
+        if func is not None:
+            key = param if parameterized else None
+            if key in op.defaults:
+                raise ValueError(f"protoop {name}[{param}] already has a default")
+            op.defaults[key] = func
+        return op
+
+    def declare(self, name: str, parameterized: bool = False, doc: str = "") -> ProtocolOperation:
+        """Declare an empty-anchor protoop: a pure event hook with no
+        default behaviour (§2.2, fourth category)."""
+        return self.register(name, None, parameterized=parameterized, doc=doc)
+
+    def exists(self, name: str) -> bool:
+        return name in self._ops
+
+    def get(self, name: str) -> ProtocolOperation:
+        try:
+            return self._ops[name]
+        except KeyError:
+            raise ProtoopError(
+                TransportErrorCode.INTERNAL_ERROR, f"unknown protoop {name!r}"
+            )
+
+    @property
+    def names(self) -> list[str]:
+        return sorted(self._ops)
+
+    def operation_count(self) -> int:
+        return len(self._ops)
+
+    def parameterized_count(self) -> int:
+        return sum(1 for op in self._ops.values() if op.parameterized)
+
+    # --- pluglet attachment -------------------------------------------------
+
+    def attach(
+        self,
+        name: str,
+        anchor: Anchor,
+        func: Callable,
+        param: Any = None,
+        external: bool = False,
+    ) -> None:
+        """Attach a pluglet behaviour. New protoops (or new parameter values
+        of existing ones) are created on the fly — PQUIC is "extensible by
+        design" (§2.3)."""
+        op = self._ops.get(name)
+        if op is None:
+            op = ProtocolOperation(
+                name=name, parameterized=param is not None, external=external
+            )
+            self._ops[name] = op
+        key = param if op.parameterized else None
+        if anchor is Anchor.REPLACE:
+            if key in op.replacements:
+                raise ProtoopError(
+                    TransportErrorCode.PLUGIN_VALIDATION_FAILED,
+                    f"protoop {name}[{param}] already replaced",
+                )
+            op.replacements[key] = func
+        elif anchor is Anchor.PRE:
+            op.pre.setdefault(key, []).append(func)
+        else:
+            op.post.setdefault(key, []).append(func)
+
+    def detach(self, name: str, anchor: Anchor, func: Callable, param: Any = None) -> None:
+        op = self._ops.get(name)
+        if op is None:
+            return
+        key = param if op.parameterized else None
+        if anchor is Anchor.REPLACE:
+            if op.replacements.get(key) is func:
+                del op.replacements[key]
+        elif anchor is Anchor.PRE:
+            if key in op.pre and func in op.pre[key]:
+                op.pre[key].remove(func)
+        else:
+            if key in op.post and func in op.post[key]:
+                op.post[key].remove(func)
+
+    # --- dispatch ----------------------------------------------------------
+
+    def run(self, conn, name: str, param: Any = None, *args: Any, _from_app: bool = False) -> Any:
+        """Invoke a protoop: pre anchors, behaviour, post anchors.
+
+        Raises :class:`ProtoopError` on re-entry (call-graph loop, Fig. 3)
+        or when an external operation is invoked from within the protocol.
+        """
+        op = self.get(name)
+        if op.external and not _from_app:
+            raise ProtoopError(
+                TransportErrorCode.PROTOCOL_VIOLATION,
+                f"external protoop {name!r} called from protocol code",
+            )
+        key = param if op.parameterized else None
+        frame_key = (name, key)
+        if frame_key in self._call_stack:
+            raise ProtoopError(
+                TransportErrorCode.PLUGIN_LOOP_DETECTED,
+                f"protocol operation loop through {name}[{param}]",
+            )
+        self._call_stack.append(frame_key)
+        self.runs += 1
+        try:
+            # Iterate over copies: a failing pluglet may detach its plugin
+            # (and thus mutate these lists) mid-run.
+            for observer in tuple(op.pre.get(key, ())):  # passive, read-only
+                observer(conn, args)
+            behavior = op.behavior(key)
+            result = behavior(conn, *args) if behavior is not None else None
+            for observer in tuple(op.post.get(key, ())):
+                observer(conn, args, result)
+            return result
+        finally:
+            self._call_stack.pop()
+
+    def run_external(self, conn, name: str, param: Any = None, *args: Any) -> Any:
+        """Entry point for the application (§2.4)."""
+        return self.run(conn, name, param, *args, _from_app=True)

@@ -1,0 +1,72 @@
+"""QUIC transport error codes and exceptions (draft-14 era, simplified)."""
+
+from __future__ import annotations
+
+import enum
+
+
+class TransportErrorCode(enum.IntEnum):
+    """Error codes carried in CONNECTION_CLOSE frames."""
+
+    NO_ERROR = 0x0
+    INTERNAL_ERROR = 0x1
+    FLOW_CONTROL_ERROR = 0x3
+    STREAM_LIMIT_ERROR = 0x4
+    STREAM_STATE_ERROR = 0x5
+    FINAL_SIZE_ERROR = 0x6
+    FRAME_ENCODING_ERROR = 0x7
+    TRANSPORT_PARAMETER_ERROR = 0x8
+    PROTOCOL_VIOLATION = 0xA
+    CRYPTO_BUFFER_EXCEEDED = 0xD
+    KEY_UPDATE_ERROR = 0xE
+    CRYPTO_ERROR = 0x100
+    # PQUIC-specific error space (plugin machinery failures terminate the
+    # connection, Section 2.1 / 2.3).
+    PLUGIN_MEMORY_VIOLATION = 0x1000
+    PLUGIN_LOOP_DETECTED = 0x1001
+    PLUGIN_VALIDATION_FAILED = 0x1002
+    PLUGIN_RUNTIME_ERROR = 0x1003
+
+
+class QuicError(Exception):
+    """Base class for all QUIC-level failures."""
+
+
+class TransportError(QuicError):
+    """A protocol failure that must close the connection."""
+
+    def __init__(self, code: TransportErrorCode, reason: str = "", frame_type: int = 0):
+        super().__init__(f"{code.name}: {reason}")
+        self.code = code
+        self.reason = reason
+        self.frame_type = frame_type
+
+
+class ProtocolViolation(TransportError):
+    def __init__(self, reason: str = ""):
+        super().__init__(TransportErrorCode.PROTOCOL_VIOLATION, reason)
+
+
+class FlowControlError(TransportError):
+    def __init__(self, reason: str = ""):
+        super().__init__(TransportErrorCode.FLOW_CONTROL_ERROR, reason)
+
+
+class StreamStateError(TransportError):
+    def __init__(self, reason: str = ""):
+        super().__init__(TransportErrorCode.STREAM_STATE_ERROR, reason)
+
+
+class FinalSizeError(TransportError):
+    def __init__(self, reason: str = ""):
+        super().__init__(TransportErrorCode.FINAL_SIZE_ERROR, reason)
+
+
+class FrameEncodingError(TransportError):
+    def __init__(self, reason: str = ""):
+        super().__init__(TransportErrorCode.FRAME_ENCODING_ERROR, reason)
+
+
+class CryptoError(TransportError):
+    def __init__(self, reason: str = ""):
+        super().__init__(TransportErrorCode.CRYPTO_ERROR, reason)

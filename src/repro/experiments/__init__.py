@@ -1,0 +1,25 @@
+"""Experiment harness: WSP design sampling and scenario runners."""
+
+from .design import PAPER_DESIGN_POINTS, wsp_design, wsp_sample
+from .harness import (
+    DEFAULT_RANGES,
+    INFLIGHT_RANGES,
+    TransferResult,
+    median,
+    run_quic_transfer,
+    run_tcp_direct,
+    run_tcp_through_tunnel,
+)
+
+__all__ = [
+    "DEFAULT_RANGES",
+    "INFLIGHT_RANGES",
+    "PAPER_DESIGN_POINTS",
+    "TransferResult",
+    "median",
+    "run_quic_transfer",
+    "run_tcp_direct",
+    "run_tcp_through_tunnel",
+    "wsp_design",
+    "wsp_sample",
+]

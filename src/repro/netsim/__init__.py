@@ -1,0 +1,27 @@
+"""Discrete-event network simulator (the paper's lab testbed, Figure 7)."""
+
+from .link import IPV4_UDP_OVERHEAD, Link, Pipe, SeededLossGen
+from .node import Datagram, Host, Interface, Node, Router
+from .sim import Event, Simulator
+from .tcp import TcpBulkTransfer, TcpReceiver, TcpSender
+from .topology import Figure7Topology, PathParams, symmetric_topology
+
+__all__ = [
+    "Datagram",
+    "Event",
+    "Figure7Topology",
+    "Host",
+    "IPV4_UDP_OVERHEAD",
+    "Interface",
+    "Link",
+    "Node",
+    "PathParams",
+    "Pipe",
+    "Router",
+    "SeededLossGen",
+    "Simulator",
+    "TcpBulkTransfer",
+    "TcpReceiver",
+    "TcpSender",
+    "symmetric_topology",
+]

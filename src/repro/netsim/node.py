@@ -1,0 +1,176 @@
+"""Hosts and routers exchanging UDP-like datagrams over simulated links.
+
+Addressing is deliberately simple: every interface carries a unique string
+address (e.g. ``"client.0"``), and routers forward on the destination
+address through static routes.  Hosts expose a socket-like API —
+``bind(port, handler)`` and ``sendto(...)`` — which is what the QUIC and
+TCP endpoints are built on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from .link import Link, Pipe
+from .sim import Simulator
+
+Handler = Callable[["Datagram"], None]
+
+
+@dataclass
+class Datagram:
+    """A UDP-like datagram as it travels through the simulated network."""
+
+    src_addr: str
+    src_port: int
+    dst_addr: str
+    dst_port: int
+    payload: bytes
+    hops: int = 0
+    #: ECN Congestion Experienced: set by a congested queue en route.
+    ecn_ce: bool = False
+
+    @property
+    def size(self) -> int:
+        return len(self.payload)
+
+    def __repr__(self) -> str:
+        return (
+            f"<Datagram {self.src_addr}:{self.src_port} -> "
+            f"{self.dst_addr}:{self.dst_port} {self.size}B>"
+        )
+
+
+class Interface:
+    """Attachment point of a node to one direction-pair of pipes."""
+
+    def __init__(self, node: "Node", address: str, tx: Pipe, rx: Pipe):
+        self.node = node
+        self.address = address
+        self.tx = tx
+        rx.connect(self._on_receive)
+
+    def send(self, dgram: Datagram) -> bool:
+        return self.tx.send(dgram, dgram.size)
+
+    def _on_receive(self, dgram: Datagram) -> None:
+        self.node.receive(dgram, self)
+
+
+class Node:
+    """Base class for hosts and routers."""
+
+    MAX_HOPS = 32
+
+    def __init__(self, sim: Simulator, name: str):
+        self.sim = sim
+        self.name = name
+        self.interfaces: list[Interface] = []
+
+    def attach(self, link: Link, address: str, far_side: bool = False) -> Interface:
+        """Attach to one end of ``link``; ``far_side`` selects the end."""
+        tx, rx = (link.backward, link.forward) if far_side else (link.forward, link.backward)
+        iface = Interface(self, address, tx, rx)
+        self.interfaces.append(iface)
+        return iface
+
+    def receive(self, dgram: Datagram, iface: Interface) -> None:
+        raise NotImplementedError
+
+    def interface_for_address(self, address: str) -> Optional[Interface]:
+        for iface in self.interfaces:
+            if iface.address == address:
+                return iface
+        return None
+
+
+class Host(Node):
+    """An end host with a UDP-socket-like interface.
+
+    Multiple interfaces give the host multiple local addresses, which the
+    multipath experiments use (the Figure-7 client reaches the server over
+    R1 and R2 via distinct local addresses).
+    """
+
+    def __init__(self, sim: Simulator, name: str):
+        super().__init__(sim, name)
+        self._bindings: dict[int, Handler] = {}
+        self.rx_datagrams = 0
+        self.tx_datagrams = 0
+        self.unrouted = 0
+
+    def bind(self, port: int, handler: Handler) -> None:
+        if port in self._bindings:
+            raise ValueError(f"port {port} already bound on {self.name}")
+        self._bindings[port] = handler
+
+    def unbind(self, port: int) -> None:
+        self._bindings.pop(port, None)
+
+    def sendto(
+        self,
+        payload: bytes,
+        src_addr: str,
+        src_port: int,
+        dst_addr: str,
+        dst_port: int,
+    ) -> bool:
+        """Send a datagram out of the interface owning ``src_addr``."""
+        iface = self.interface_for_address(src_addr)
+        if iface is None:
+            raise ValueError(f"{self.name} has no interface {src_addr}")
+        self.tx_datagrams += 1
+        return iface.send(Datagram(src_addr, src_port, dst_addr, dst_port, payload))
+
+    def receive(self, dgram: Datagram, iface: Interface) -> None:
+        handler = self._bindings.get(dgram.dst_port)
+        if handler is None:
+            self.unrouted += 1
+            return
+        self.rx_datagrams += 1
+        handler(dgram)
+
+    @property
+    def addresses(self) -> list[str]:
+        return [iface.address for iface in self.interfaces]
+
+
+class Router(Node):
+    """A store-and-forward router with static routes on destination address.
+
+    Routes may be exact addresses or ``prefix.*`` wildcards so one entry can
+    cover all addresses of a multi-homed host.
+    """
+
+    def __init__(self, sim: Simulator, name: str):
+        super().__init__(sim, name)
+        self._routes: dict[str, int] = {}
+        self.forwarded = 0
+        self.unrouted = 0
+
+    def add_route(self, dst: str, iface_index: int) -> None:
+        self._routes[dst] = iface_index
+
+    def _lookup(self, dst: str) -> Optional[int]:
+        if dst in self._routes:
+            return self._routes[dst]
+        head, _, _ = dst.rpartition(".")
+        while head:
+            wild = head + ".*"
+            if wild in self._routes:
+                return self._routes[wild]
+            head, _, _ = head.rpartition(".")
+        return self._routes.get("*")
+
+    def receive(self, dgram: Datagram, iface: Interface) -> None:
+        dgram.hops += 1
+        if dgram.hops > self.MAX_HOPS:
+            self.unrouted += 1
+            return
+        index = self._lookup(dgram.dst_addr)
+        if index is None or index >= len(self.interfaces):
+            self.unrouted += 1
+            return
+        self.forwarded += 1
+        self.interfaces[index].send(dgram)

@@ -1,0 +1,141 @@
+"""Discrete-event simulation kernel.
+
+The whole evaluation of the paper runs on a lab testbed (Figure 7) shaped
+with NetEm/HTB.  This module provides the equivalent substrate: a
+deterministic event loop with cancellable timers on which links, routers,
+hosts and transport endpoints are built.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Optional
+
+
+class Event:
+    """A scheduled callback. Returned by :meth:`Simulator.schedule`.
+
+    Events compare by (time, sequence) so simultaneous events fire in
+    scheduling order, which keeps runs fully deterministic.
+    """
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: tuple):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing. Safe to call more than once."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:
+        state = "cancelled" if self.cancelled else "pending"
+        return f"<Event t={self.time:.6f} {self.fn!r} {state}>"
+
+
+class Simulator:
+    """A deterministic discrete-event simulator.
+
+    Typical usage::
+
+        sim = Simulator()
+        sim.schedule(1.0, print, "hello")
+        sim.run()
+    """
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._queue: list[Event] = []
+        self._seq = itertools.count()
+        self._running = False
+
+    def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay}")
+        ev = Event(self.now + delay, next(self._seq), fn, args)
+        heapq.heappush(self._queue, ev)
+        return ev
+
+    def schedule_at(self, time: float, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` at an absolute simulation time."""
+        return self.schedule(max(0.0, time - self.now), fn, *args)
+
+    def pending(self) -> int:
+        """Number of non-cancelled events still queued."""
+        return sum(1 for ev in self._queue if not ev.cancelled)
+
+    def step(self) -> bool:
+        """Run the next event. Returns False when the queue is empty."""
+        while self._queue:
+            ev = heapq.heappop(self._queue)
+            if ev.cancelled:
+                continue
+            self.now = ev.time
+            ev.fn(*ev.args)
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None, max_events: int = 50_000_000) -> None:
+        """Run events until the queue drains or ``until`` (absolute time).
+
+        ``max_events`` is a runaway guard; hitting it raises RuntimeError
+        rather than looping forever on a buggy protocol.
+        """
+        count = 0
+        while self._queue:
+            ev = self._queue[0]
+            if ev.cancelled:
+                heapq.heappop(self._queue)
+                continue
+            if until is not None and ev.time > until:
+                self.now = until
+                return
+            heapq.heappop(self._queue)
+            self.now = ev.time
+            ev.fn(*ev.args)
+            count += 1
+            if count >= max_events:
+                raise RuntimeError(f"simulation exceeded {max_events} events")
+        if until is not None:
+            self.now = max(self.now, until)
+
+    def run_until(
+        self,
+        predicate: Callable[[], bool],
+        timeout: float = 3600.0,
+        max_events: int = 50_000_000,
+    ) -> bool:
+        """Run until ``predicate()`` is true. Returns whether it became true.
+
+        ``timeout`` is in absolute simulated seconds from the current time.
+        """
+        deadline = self.now + timeout
+        count = 0
+        if predicate():
+            return True
+        while self._queue:
+            ev = heapq.heappop(self._queue)
+            if ev.cancelled:
+                continue
+            if ev.time > deadline:
+                # Put it back: the caller may keep running later.
+                heapq.heappush(self._queue, ev)
+                self.now = deadline
+                return predicate()
+            self.now = ev.time
+            ev.fn(*ev.args)
+            if predicate():
+                return True
+            count += 1
+            if count >= max_events:
+                raise RuntimeError(f"simulation exceeded {max_events} events")
+        return predicate()

@@ -1,0 +1,19 @@
+"""The paper's four protocol plugins (§4)."""
+
+from .ccontrol import build_ccontrol_plugin
+from .datagram import DatagramSocket, build_datagram_plugin
+from .ecn import build_ecn_plugin
+from .fec import build_fec_plugin
+from .monitoring import MonitoringCollector, build_monitoring_plugin
+from .multipath import build_multipath_plugin
+
+__all__ = [
+    "DatagramSocket",
+    "MonitoringCollector",
+    "build_ccontrol_plugin",
+    "build_ecn_plugin",
+    "build_datagram_plugin",
+    "build_fec_plugin",
+    "build_monitoring_plugin",
+    "build_multipath_plugin",
+]

@@ -1,0 +1,27 @@
+"""The FEC framework plugin (§4.4) and its erasure-correcting codes."""
+
+from .codes import CODES, ErasureCode, RlcCode, XorCode, gf_div, gf_inv, gf_mul
+from .framework import (
+    FEC_ID_FRAME_TYPE,
+    FEC_RS_FRAME_TYPE,
+    FecIdFrame,
+    FecRepairFrame,
+    build_fec_plugin,
+    plugin_name,
+)
+
+__all__ = [
+    "CODES",
+    "ErasureCode",
+    "FEC_ID_FRAME_TYPE",
+    "FEC_RS_FRAME_TYPE",
+    "FecIdFrame",
+    "FecRepairFrame",
+    "RlcCode",
+    "XorCode",
+    "build_fec_plugin",
+    "gf_div",
+    "gf_inv",
+    "gf_mul",
+    "plugin_name",
+]

@@ -1,0 +1,19 @@
+"""The Multipath plugin (§4.3)."""
+
+from .plugin import (
+    ADD_ADDRESS_FRAME_TYPE,
+    MP_ACK_FRAME_TYPE,
+    PLUGIN_NAME,
+    AddAddressFrame,
+    MpAckFrame,
+    build_multipath_plugin,
+)
+
+__all__ = [
+    "ADD_ADDRESS_FRAME_TYPE",
+    "AddAddressFrame",
+    "MP_ACK_FRAME_TYPE",
+    "MpAckFrame",
+    "PLUGIN_NAME",
+    "build_multipath_plugin",
+]

@@ -1,0 +1,72 @@
+"""Congestion controllers.
+
+NewReno is the default, as in picoquic at the time of the paper; the
+initial congestion window defaults to 16 kB ("the initial path window of
+mp-quic (32 kB), inherited from quic-go, is twice the default one of PQUIC
+(16 kB)" — §4.3), which the Figure-9 baseline reproduces by passing 32 kB.
+"""
+
+from __future__ import annotations
+
+MAX_DATAGRAM_SIZE = 1280
+DEFAULT_INITIAL_WINDOW = 16 * 1024
+MINIMUM_WINDOW = 2 * MAX_DATAGRAM_SIZE
+LOSS_REDUCTION_FACTOR = 0.5
+
+
+class CongestionController:
+    """Interface shared by all congestion controllers."""
+
+    def __init__(self, initial_window: int = DEFAULT_INITIAL_WINDOW):
+        self.cwnd = initial_window
+        self.initial_window = initial_window
+        self.bytes_in_flight = 0
+
+    @property
+    def available_window(self) -> int:
+        return max(0, self.cwnd - self.bytes_in_flight)
+
+    def can_send(self) -> bool:
+        return self.bytes_in_flight < self.cwnd
+
+    def on_packet_sent(self, size: int) -> None:
+        self.bytes_in_flight += size
+
+    def on_packet_discarded(self, size: int) -> None:
+        self.bytes_in_flight = max(0, self.bytes_in_flight - size)
+
+    def on_ack(self, size: int, now: float, sent_time: float) -> None:
+        raise NotImplementedError
+
+    def on_loss(self, size: int, now: float, sent_time: float) -> None:
+        raise NotImplementedError
+
+
+class NewRenoController(CongestionController):
+    """Slow start + AIMD congestion avoidance with loss-epoch handling."""
+
+    def __init__(self, initial_window: int = DEFAULT_INITIAL_WINDOW):
+        super().__init__(initial_window)
+        self.ssthresh: float = float("inf")
+        self._recovery_start: float = -1.0
+
+    @property
+    def in_slow_start(self) -> bool:
+        return self.cwnd < self.ssthresh
+
+    def on_ack(self, size: int, now: float, sent_time: float) -> None:
+        self.bytes_in_flight = max(0, self.bytes_in_flight - size)
+        if sent_time <= self._recovery_start:
+            return  # no growth for packets sent before recovery began
+        if self.in_slow_start:
+            self.cwnd += size
+        else:
+            self.cwnd += MAX_DATAGRAM_SIZE * size // self.cwnd
+
+    def on_loss(self, size: int, now: float, sent_time: float) -> None:
+        self.bytes_in_flight = max(0, self.bytes_in_flight - size)
+        if sent_time <= self._recovery_start:
+            return  # already reacted to this loss epoch
+        self._recovery_start = now
+        self.cwnd = max(int(self.cwnd * LOSS_REDUCTION_FACTOR), MINIMUM_WINDOW)
+        self.ssthresh = self.cwnd

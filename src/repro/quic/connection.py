@@ -1,0 +1,1133 @@
+"""The PQUIC connection: a QUIC state machine decomposed into protocol
+operations.
+
+Every step a plugin might want to observe or replace — frame parsing and
+processing, RTT updates, loss detection, packet preparation, path
+selection, the Spin Bit — is dispatched through a per-connection
+:class:`~repro.core.protoop.ProtoopTable`, exactly as Figure 1b describes:
+the monolithic call graph becomes a web of named, anchored operations.
+
+The connection is sans-io: it consumes datagrams via
+:meth:`receive_datagram`, emits them via :meth:`datagrams_to_send`, and
+reports its next timer via :meth:`next_timer`.  The endpoint adapter in
+:mod:`repro.quic.endpoint` glues it to the network simulator.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.core.protoop import Anchor, ProtoopError, ProtoopTable
+
+from . import frames as F
+from .cc import DEFAULT_INITIAL_WINDOW, NewRenoController
+from .crypto import (
+    TAG_LENGTH,
+    CryptoPair,
+    initial_crypto_pair,
+    one_rtt_crypto_pair,
+    session_secret,
+)
+from .errors import (
+    CryptoError,
+    ProtocolViolation,
+    QuicError,
+    TransportError,
+    TransportErrorCode,
+)
+from .packet import (
+    Epoch,
+    PacketHeader,
+    PacketType,
+    decode_packet_number,
+    encode_long_header,
+    encode_short_header,
+    parse_header,
+    seal_packet,
+)
+from .recovery import PacketNumberSpace, RttEstimator, SentPacket
+from .stream import ReceiveStream, SendStream
+from .transport_params import TransportParameters
+from .wire import Buffer
+
+import itertools
+
+_instance_counter = itertools.count(1)
+
+CID_LENGTH = 8
+INITIAL_PADDING_TARGET = 1200
+HANDSHAKE_CH = 1
+HANDSHAKE_SH = 2
+
+
+@dataclass
+class QuicConfiguration:
+    """Per-endpoint configuration."""
+
+    is_client: bool = True
+    transport_parameters: TransportParameters = field(default_factory=TransportParameters)
+    initial_window: int = DEFAULT_INITIAL_WINDOW
+    max_udp_payload_size: int = 1280
+    seed: int = 0
+    #: Plugins available in the local cache (names).
+    supported_plugins: list = field(default_factory=list)
+    #: Plugins this endpoint wants the peer to run (names).
+    plugins_to_inject: list = field(default_factory=list)
+
+
+class Path:
+    """One network path: addresses, its own 1-RTT packet-number space,
+    RTT estimator and congestion controller.
+
+    Single-path connections use path 0 only; the multipath plugin creates
+    additional paths (§4.3)."""
+
+    def __init__(self, index: int, initial_window: int):
+        self.index = index
+        self.local_addr: Optional[str] = None
+        self.peer_addr: Optional[str] = None
+        self.space = PacketNumberSpace()
+        self.rtt = RttEstimator()
+        self.cc = NewRenoController(initial_window)
+        self.active = index == 0
+        self.challenge_data: Optional[bytes] = None
+        self.validated = index == 0
+
+    def __repr__(self) -> str:
+        return f"<Path {self.index} {self.local_addr}->{self.peer_addr}>"
+
+
+@dataclass
+class ReservedFrame:
+    """A frame slot booked by a plugin via ``reserve_frames`` (§2.3)."""
+
+    frame: F.Frame
+    plugin: str
+    retransmittable: bool = True
+    congestion_controlled: bool = True
+
+
+class QuicConnection:
+    """A pluginized QUIC connection endpoint."""
+
+    def __init__(self, configuration: QuicConfiguration, now: float = 0.0):
+        self.configuration = configuration
+        self.is_client = configuration.is_client
+        # Unique per instance yet deterministic across identical runs: mix
+        # the configured seed with a process-wide connection counter.
+        self._rng = random.Random(
+            (configuration.seed << 24)
+            ^ (next(_instance_counter) << 1)
+            ^ (0 if self.is_client else 1)
+        )
+        self.local_cid = bytes(self._rng.randrange(256) for _ in range(CID_LENGTH))
+        self.peer_cid = b""
+        self._original_dcid = b""
+        self.protoops = ProtoopTable()
+        self.frame_registry = F.FrameRegistry()
+        self.now = now
+
+        # Packet-number spaces: Initial is global, 1-RTT is per-path.
+        self.initial_space = PacketNumberSpace()
+        self.paths: list[Path] = [Path(0, configuration.initial_window)]
+        self.crypto: dict[Epoch, Optional[CryptoPair]] = {
+            Epoch.INITIAL: None,
+            Epoch.ONE_RTT: None,
+        }
+
+        # Handshake / crypto stream state (Initial epoch only in this model).
+        self._crypto_send = SendStream(-1, 1 << 30)
+        self._crypto_recv = ReceiveStream(-1, 1 << 30)
+        self._key_share = bytes(self._rng.randrange(256) for _ in range(32))
+        self._handshake_sent = False
+        self.handshake_complete = False
+        self.peer_transport_parameters: Optional[TransportParameters] = None
+
+        # Streams and flow control.
+        self.streams_send: dict[int, SendStream] = {}
+        self.streams_recv: dict[int, ReceiveStream] = {}
+        self._next_stream_id = 0 if self.is_client else 1
+        self.max_data_local = configuration.transport_parameters.initial_max_data
+        self.max_data_remote = 0  # learned from peer params
+        self.data_sent = 0
+        self.data_received = 0
+        self._max_data_frame_pending = False
+
+        # Control frames awaiting transmission (flow control updates, etc.).
+        self._control_frames: list[F.Frame] = []
+        # Plugin-reserved frames (deficit-round-robin between plugins).
+        self.reserved_frames: list[ReservedFrame] = []
+
+        # Spin bit state (§4.1: the only cleartext performance signal).
+        self.spin_bit = False
+
+        # Timers and lifecycle.
+        self._pto_count = 0
+        self._last_activity = now
+        self.closed = False
+        self.close_error: Optional[tuple[int, str]] = None
+        self._close_frame_pending: Optional[F.ConnectionCloseFrame] = None
+
+        # Application callbacks.
+        self.on_stream_data: Optional[Callable[[int, bytes, bool], None]] = None
+        self.on_established: Optional[Callable[[], None]] = None
+        self.on_close: Optional[Callable[[int, str], None]] = None
+        self.on_plugin_message: Optional[Callable[[str, bytes], None]] = None
+
+        # Plugin machinery attachment points (populated by repro.core).
+        self.plugins: dict[str, Any] = {}
+        self.plugin_queues: dict[str, list] = {}
+        #: Additional local addresses a multipath plugin may open paths on.
+        self.extra_local_addresses: list = []
+
+        # Statistics (read by the monitoring plugin through get/set API).
+        self.stats = {
+            "packets_sent": 0,
+            "packets_received": 0,
+            "bytes_sent": 0,
+            "bytes_received": 0,
+            "packets_lost": 0,
+            "frames_received": 0,
+            "acks_received": 0,
+            "spurious_received": 0,
+            "ecn_ce_received": 0,
+        }
+
+        self._register_protocol_operations()
+
+        if self.is_client:
+            self._start_client_handshake()
+
+    # ------------------------------------------------------------------
+    # Protocol operation registration (the gray box of §2.2).
+    # ------------------------------------------------------------------
+
+    def _register_protocol_operations(self) -> None:
+        t = self.protoops
+        # -- Parameterized frame operations (the 4 parameterized protoops).
+        for name in ("parse_frame", "process_frame", "write_frame", "notify_frame"):
+            t.register(name, None, parameterized=True)
+        t.register("parse_frame", self._default_parse_frame, param="default",
+                   parameterized=True)
+        t.register("write_frame", self._default_write_frame, param="default",
+                   parameterized=True)
+        for ftype, handler in self._default_frame_processors().items():
+            t.register("process_frame", handler, param=ftype, parameterized=True)
+        for ftype, handler in self._default_frame_notifiers().items():
+            t.register("notify_frame", handler, param=ftype, parameterized=True)
+
+        # -- Internal processing.
+        t.register("update_rtt", self._op_update_rtt)
+        t.register("set_loss_alarm", self._op_set_loss_alarm)
+        t.register("on_loss_alarm", self._op_on_loss_alarm)
+        t.register("detect_lost_packets", self._op_detect_lost_packets)
+        t.register("on_packet_acked", self._op_on_packet_acked)
+        t.register("on_packet_lost", self._op_on_packet_lost)
+        t.register("congestion_on_ack", self._op_congestion_on_ack)
+        t.register("congestion_on_loss", self._op_congestion_on_loss)
+        t.register("retransmit_packet", self._op_retransmit_packet)
+        t.register("stream_to_send", self._op_stream_to_send)
+        t.register("schedule_frames", self._op_schedule_frames)
+        t.register("reserve_frame_slot", self._op_reserve_frame_slot)
+        t.register("get_max_data", self._op_get_max_data)
+        t.register("update_flow_credit", self._op_update_flow_credit)
+        t.register("should_send_max_data", self._op_should_send_max_data)
+        t.register("create_stream", self._op_create_stream)
+        t.register("get_send_stream", self._op_get_send_stream)
+        t.register("get_receive_stream", self._op_get_receive_stream)
+        t.register("stream_data_received", self._op_stream_data_received)
+        t.register("crypto_data_received", self._op_crypto_data_received)
+        t.register("process_handshake_message", self._op_process_handshake_message)
+        t.register("derive_one_rtt_keys", self._op_derive_one_rtt_keys)
+        t.register("set_idle_timer", self._op_set_idle_timer)
+        t.register("queue_control_frame", self._op_queue_control_frame)
+
+        # -- Packet management.
+        t.register("prepare_packet", self._op_prepare_packet)
+        t.register("finalize_and_protect_packet", self._op_finalize_and_protect)
+        t.register("parse_packet_header", self._op_parse_packet_header)
+        t.register("decode_packet_number", self._op_decode_packet_number)
+        t.register("process_incoming_packet", self._op_process_incoming_packet)
+        t.register("set_spin_bit", self._op_set_spin_bit)
+        t.register("get_destination_cid", self._op_get_destination_cid)
+        t.register("get_source_cid", self._op_get_source_cid)
+        t.register("select_sending_path", self._op_select_sending_path)
+        t.register("get_path", self._op_get_path)
+        t.register("create_path", self._op_create_path)
+        t.register("path_bytes_allowed", self._op_path_bytes_allowed)
+        t.register("map_incoming_path", self._op_map_incoming_path)
+        t.register("process_recovered_payload", self._op_process_recovered_payload)
+
+        # -- Introspection operations (used by monitoring & multipath).
+        t.register("get_rtt", lambda conn, i=0: self.paths[i].rtt.smoothed,
+                   doc="Smoothed RTT of a path.")
+        t.register("get_cwin", lambda conn, i=0: self.paths[i].cc.cwnd,
+                   doc="Congestion window of a path.")
+        t.register("get_bytes_in_flight",
+                   lambda conn, i=0: self.paths[i].cc.bytes_in_flight,
+                   doc="Bytes currently in flight on a path.")
+        t.register("stream_bytes_pending",
+                   lambda conn: sum(s.bytes_in_flight_or_pending
+                                    for s in self.streams_send.values()),
+                   doc="Application bytes waiting for (re)transmission.")
+        t.register("is_ack_needed",
+                   lambda conn, i=0: self.paths[i].space.ack_needed,
+                   doc="Whether the path's space owes the peer an ACK.")
+        t.register("get_largest_acked",
+                   lambda conn, i=0: self.paths[i].space.largest_acked,
+                   doc="Largest packet number acked by the peer on a path.")
+        t.register("get_next_packet_number",
+                   lambda conn, i=0: self.paths[i].space.next_packet_number,
+                   doc="Next packet number to be used on a path.")
+
+        # -- Connection-workflow events (empty anchors, §2.2 category 4).
+        for event in (
+            "connection_established",
+            "before_sending_packet",
+            "packet_ready",            # (epoch, path_index, pn, plaintext)
+            "packet_sent_event",       # (sent_packet,)
+            "packet_received_event",   # (epoch, path_index, pn, plaintext)
+            "frames_decoded",          # after decoding all frames of a packet
+            "packet_lost_event",       # after a packet loss
+            "packet_acked_event",
+            "rtt_updated",
+            "stream_opened",
+            "stream_closed",
+            "handshake_message_sent",
+            "connection_closing",
+            "connection_closed",
+            "idle_timeout_event",
+            "plugin_injected",
+            "path_created",
+            "path_validated",
+            "ack_frame_built",
+            "flow_control_raised",
+            "loss_alarm_fired",
+            "cc_window_updated",
+            "spin_bit_flipped",
+        ):
+            t.declare(event)
+
+    # ------------------------------------------------------------------
+    # Handshake.
+    # ------------------------------------------------------------------
+
+    def _start_client_handshake(self) -> None:
+        self.peer_cid = bytes(self._rng.randrange(256) for _ in range(CID_LENGTH))
+        self._original_dcid = self.peer_cid
+        self.crypto[Epoch.INITIAL] = initial_crypto_pair(self._original_dcid, True)
+        # The ClientHello is queued lazily (first send) so extensions set
+        # up after construction — e.g. a PluginExchanger advertising the
+        # cache via supported_plugins — make it into the handshake.
+        self._ch_pending = True
+
+    def _handshake_params(self) -> TransportParameters:
+        params = self.configuration.transport_parameters
+        params.supported_plugins = list(self.configuration.supported_plugins)
+        params.plugins_to_inject = list(self.configuration.plugins_to_inject)
+        return params
+
+    def _queue_handshake_message(self, msg_type: int) -> None:
+        buf = Buffer()
+        buf.push_uint8(msg_type)
+        buf.push_bytes(self._key_share)
+        buf.push_varint_prefixed_bytes(self._handshake_params().serialize())
+        self._crypto_send.write(buf.data())
+        self._handshake_sent = True
+        self.protoops.run(self, "handshake_message_sent", None, msg_type)
+
+    def _op_process_handshake_message(self, conn, data: bytes) -> None:
+        """Process one handshake message arriving on the crypto stream."""
+        buf = Buffer(data)
+        msg_type = buf.pull_uint8()
+        peer_share = buf.pull_bytes(32)
+        params = TransportParameters.parse(buf.pull_varint_prefixed_bytes())
+        self.peer_transport_parameters = params
+        self.max_data_remote = params.initial_max_data
+        if msg_type == HANDSHAKE_CH and not self.is_client:
+            self.protoops.run(self, "derive_one_rtt_keys", None, peer_share)
+            self._queue_handshake_message(HANDSHAKE_SH)
+            self._set_established()
+        elif msg_type == HANDSHAKE_SH and self.is_client:
+            self.protoops.run(self, "derive_one_rtt_keys", None, peer_share)
+            self._set_established()
+        else:
+            raise ProtocolViolation(f"unexpected handshake message {msg_type}")
+
+    def _op_derive_one_rtt_keys(self, conn, peer_share: bytes) -> None:
+        if self.is_client:
+            secret = session_secret(self._key_share, peer_share)
+        else:
+            secret = session_secret(peer_share, self._key_share)
+        self.crypto[Epoch.ONE_RTT] = one_rtt_crypto_pair(secret, self.is_client)
+
+    def _set_established(self) -> None:
+        if self.handshake_complete:
+            return
+        self.handshake_complete = True
+        self.protoops.run(self, "connection_established", None)
+        if self.on_established is not None:
+            self.on_established()
+
+    # ------------------------------------------------------------------
+    # Public application API.
+    # ------------------------------------------------------------------
+
+    def create_stream(self) -> int:
+        return self.protoops.run_external(self, "create_stream", None)
+
+    def send_stream_data(self, stream_id: int, data: bytes, fin: bool = False) -> None:
+        stream = self.protoops.run(self, "get_send_stream", None, stream_id)
+        stream.write(data)
+        if fin:
+            stream.finish()
+
+    def close(self, error_code: int = 0, reason: str = "") -> None:
+        if self.closed:
+            return
+        self.protoops.run(self, "connection_closing", None, error_code, reason)
+        self._close_frame_pending = F.ConnectionCloseFrame(
+            error_code=error_code, reason=reason
+        )
+        self._finish_close(error_code, reason)
+
+    def _finish_close(self, error_code: int, reason: str) -> None:
+        self.closed = True
+        self.close_error = (error_code, reason)
+        self.protoops.run(self, "connection_closed", None)
+        if self.on_close is not None:
+            self.on_close(error_code, reason)
+
+    def abort_on_plugin_failure(self, error: TransportError) -> None:
+        """Plugin machinery failures terminate the connection (§2.1)."""
+        if not self.closed:
+            self._close_frame_pending = F.ConnectionCloseFrame(
+                error_code=int(error.code), reason=error.reason
+            )
+            self._finish_close(int(error.code), error.reason)
+
+    def run_external_protoop(self, name: str, param: Any = None, *args: Any) -> Any:
+        """Application entry point to external protocol operations (§2.4)."""
+        return self.protoops.run_external(self, name, param, *args)
+
+    def push_message_to_app(self, plugin_name: str, message: bytes) -> None:
+        """Used by plugins to asynchronously message the application."""
+        if self.on_plugin_message is not None:
+            self.on_plugin_message(plugin_name, message)
+        else:
+            self.plugin_queues.setdefault(plugin_name, []).append(message)
+
+    # ------------------------------------------------------------------
+    # Stream protoops.
+    # ------------------------------------------------------------------
+
+    def _op_create_stream(self, conn) -> int:
+        stream_id = self._next_stream_id
+        self._next_stream_id += 4
+        self._get_or_create_streams(stream_id)
+        self.protoops.run(self, "stream_opened", None, stream_id)
+        return stream_id
+
+    def _remote_stream_limit(self) -> int:
+        params = self.peer_transport_parameters
+        if params is None:
+            return self.configuration.transport_parameters.initial_max_stream_data
+        return params.initial_max_stream_data
+
+    def _get_or_create_streams(self, stream_id: int) -> None:
+        if stream_id not in self.streams_send:
+            self.streams_send[stream_id] = SendStream(
+                stream_id, self._remote_stream_limit()
+            )
+            self.streams_recv[stream_id] = ReceiveStream(
+                stream_id,
+                self.configuration.transport_parameters.initial_max_stream_data,
+            )
+
+    def _op_get_send_stream(self, conn, stream_id: int) -> SendStream:
+        self._get_or_create_streams(stream_id)
+        return self.streams_send[stream_id]
+
+    def _op_get_receive_stream(self, conn, stream_id: int) -> ReceiveStream:
+        self._get_or_create_streams(stream_id)
+        return self.streams_recv[stream_id]
+
+    def _op_stream_data_received(self, conn, stream_id: int, readable: bytes, fin: bool) -> None:
+        if self.on_stream_data is not None and (readable or fin):
+            self.on_stream_data(stream_id, readable, fin)
+
+    def _op_crypto_data_received(self, conn, data: bytes) -> None:
+        """Drain complete handshake messages from the crypto stream."""
+        stash = getattr(self, "_crypto_pending", b"") + data
+        while True:
+            if len(stash) < 33:
+                break
+            buf = Buffer(stash)
+            buf.pull_uint8()
+            buf.pull_bytes(32)
+            try:
+                buf.pull_varint_prefixed_bytes()
+            except QuicError:
+                break
+            msg_len = buf.position
+            message, stash = stash[:msg_len], stash[msg_len:]
+            self.protoops.run(self, "process_handshake_message", None, message)
+        self._crypto_pending = stash
+
+    # ------------------------------------------------------------------
+    # Flow control protoops.
+    # ------------------------------------------------------------------
+
+    def _op_get_max_data(self, conn) -> int:
+        return self.max_data_remote
+
+    def _op_should_send_max_data(self, conn) -> bool:
+        window = self.configuration.transport_parameters.initial_max_data
+        return self.data_received > self.max_data_local - window // 2
+
+    def _op_update_flow_credit(self, conn) -> None:
+        """Raise connection and stream receive windows as data is consumed."""
+        window = self.configuration.transport_parameters.initial_max_data
+        if self.protoops.run(self, "should_send_max_data", None):
+            self.max_data_local = self.data_received + window
+            self.protoops.run(
+                self, "queue_control_frame", None,
+                F.MaxDataFrame(maximum=self.max_data_local),
+            )
+            self.protoops.run(self, "flow_control_raised", None, self.max_data_local)
+        stream_window = self.configuration.transport_parameters.initial_max_stream_data
+        for stream_id, stream in self.streams_recv.items():
+            if stream.final_size is not None:
+                continue
+            if stream.bytes_received > stream.max_stream_data - stream_window // 2:
+                new_limit = stream.grant_credit(stream_window)
+                if new_limit:
+                    self.protoops.run(
+                        self, "queue_control_frame", None,
+                        F.MaxStreamDataFrame(stream_id=stream_id, maximum=new_limit),
+                    )
+
+    def _op_queue_control_frame(self, conn, frame: F.Frame) -> None:
+        self._control_frames.append(frame)
+
+    # ------------------------------------------------------------------
+    # Frame parsing / processing defaults.
+    # ------------------------------------------------------------------
+
+    def _default_parse_frame(self, conn, buf: Buffer, frame_type: int) -> F.Frame:
+        cls = self.frame_registry.lookup(frame_type)
+        return cls.parse(buf, frame_type)
+
+    def _default_write_frame(self, conn, frame: F.Frame, buf: Buffer) -> None:
+        frame.serialize(buf)
+
+    def _default_frame_processors(self) -> dict:
+        return {
+            F.PADDING: lambda conn, frame, ctx: None,
+            F.PING: lambda conn, frame, ctx: None,
+            F.ACK: self._process_ack_frame,
+            F.CRYPTO: self._process_crypto_frame,
+            "stream": self._process_stream_frame,
+            F.MAX_DATA: self._process_max_data_frame,
+            F.MAX_STREAM_DATA: self._process_max_stream_data_frame,
+            F.MAX_STREAMS: lambda conn, frame, ctx: None,
+            F.DATA_BLOCKED: lambda conn, frame, ctx: None,
+            F.STREAM_DATA_BLOCKED: lambda conn, frame, ctx: None,
+            F.RESET_STREAM: self._process_reset_stream_frame,
+            F.STOP_SENDING: lambda conn, frame, ctx: None,
+            F.NEW_CONNECTION_ID: lambda conn, frame, ctx: None,
+            F.PATH_CHALLENGE: self._process_path_challenge,
+            F.PATH_RESPONSE: self._process_path_response,
+            F.CONNECTION_CLOSE: self._process_connection_close,
+            F.CONNECTION_CLOSE + 1: self._process_connection_close,
+            F.HANDSHAKE_DONE: lambda conn, frame, ctx: None,
+        }
+
+    def _frame_param(self, frame_type: int) -> Any:
+        if F.STREAM_BASE <= frame_type < F.STREAM_BASE + 8:
+            return "stream"
+        return frame_type
+
+    def _process_ack_frame(self, conn, frame: F.AckFrame, ctx: dict) -> None:
+        epoch: Epoch = ctx["epoch"]
+        path = self.paths[ctx["path_index"]]
+        space = self.initial_space if epoch is Epoch.INITIAL else path.space
+        self.stats["acks_received"] += 1
+        result = space.on_ack_received(frame, self.now, path.rtt)
+        if result.latest_rtt is not None:
+            self.protoops.run(
+                self, "update_rtt", None, path.index, result.latest_rtt, frame.ack_delay
+            )
+        for pkt in result.newly_acked:
+            self.protoops.run(self, "on_packet_acked", None, pkt, path.index)
+        for pkt in result.lost:
+            self.protoops.run(self, "on_packet_lost", None, pkt, path.index)
+        if result.newly_acked:
+            self._pto_count = 0
+
+    def _process_crypto_frame(self, conn, frame: F.CryptoFrame, ctx: dict) -> None:
+        readable = self._crypto_recv.receive(frame.offset, frame.data, False)
+        if readable:
+            self.protoops.run(self, "crypto_data_received", None, readable)
+
+    def _process_stream_frame(self, conn, frame: F.StreamFrame, ctx: dict) -> None:
+        stream = self.protoops.run(self, "get_receive_stream", None, frame.stream_id)
+        before = stream.bytes_received
+        readable = stream.receive(frame.offset, frame.data, frame.fin)
+        newly = stream.bytes_received - before
+        if newly > 0:
+            self.data_received += newly
+            if self.data_received > self.max_data_local:
+                raise TransportError(
+                    TransportErrorCode.FLOW_CONTROL_ERROR,
+                    "connection flow control exceeded",
+                )
+        self.protoops.run(
+            self, "stream_data_received", None,
+            frame.stream_id, readable, stream.is_finished,
+        )
+        self.protoops.run(self, "update_flow_credit", None)
+
+    def _process_max_data_frame(self, conn, frame: F.MaxDataFrame, ctx: dict) -> None:
+        if frame.maximum > self.max_data_remote:
+            self.max_data_remote = frame.maximum
+
+    def _process_max_stream_data_frame(self, conn, frame: F.MaxStreamDataFrame, ctx: dict) -> None:
+        self._get_or_create_streams(frame.stream_id)
+        self.streams_send[frame.stream_id].update_max_stream_data(frame.maximum)
+
+    def _process_reset_stream_frame(self, conn, frame: F.ResetStreamFrame, ctx: dict) -> None:
+        self._get_or_create_streams(frame.stream_id)
+        stream = self.streams_recv[frame.stream_id]
+        stream.final_size = frame.final_size
+        self.protoops.run(self, "stream_closed", None, frame.stream_id)
+
+    def _process_path_challenge(self, conn, frame: F.PathChallengeFrame, ctx: dict) -> None:
+        self.protoops.run(
+            self, "queue_control_frame", None, F.PathResponseFrame(data=frame.data)
+        )
+
+    def _process_path_response(self, conn, frame: F.PathResponseFrame, ctx: dict) -> None:
+        for path in self.paths:
+            if path.challenge_data == frame.data:
+                path.validated = True
+                self.protoops.run(self, "path_validated", None, path.index)
+
+    def _process_connection_close(self, conn, frame: F.ConnectionCloseFrame, ctx: dict) -> None:
+        if not self.closed:
+            self._finish_close(frame.error_code, frame.reason)
+
+    # ------------------------------------------------------------------
+    # ACK / loss protoops.
+    # ------------------------------------------------------------------
+
+    def _op_update_rtt(self, conn, path_index: int, latest: float, ack_delay: float) -> float:
+        path = self.paths[path_index]
+        self.protoops.run(self, "rtt_updated", None, path_index, latest)
+        return path.rtt.smoothed
+
+    def _op_on_packet_acked(self, conn, pkt: SentPacket, path_index: int) -> None:
+        if pkt.in_flight:
+            self.protoops.run(self, "congestion_on_ack", None, pkt, path_index)
+        for frame in pkt.frames:
+            self.protoops.run(
+                self, "notify_frame", self._frame_param(frame.type), frame, True, pkt
+            )
+        self.protoops.run(self, "packet_acked_event", None, pkt)
+
+    def _op_on_packet_lost(self, conn, pkt: SentPacket, path_index: int) -> None:
+        self.stats["packets_lost"] += 1
+        if pkt.in_flight:
+            self.protoops.run(self, "congestion_on_loss", None, pkt, path_index)
+        self.protoops.run(self, "retransmit_packet", None, pkt)
+        self.protoops.run(self, "packet_lost_event", None, pkt)
+
+    def _op_congestion_on_ack(self, conn, pkt: SentPacket, path_index: int) -> None:
+        path = self.paths[path_index]
+        path.cc.on_ack(pkt.size, self.now, pkt.sent_time)
+        self.protoops.run(self, "cc_window_updated", None, path_index, path.cc.cwnd)
+
+    def _op_congestion_on_loss(self, conn, pkt: SentPacket, path_index: int) -> None:
+        path = self.paths[path_index]
+        path.cc.on_loss(pkt.size, self.now, pkt.sent_time)
+        self.protoops.run(self, "cc_window_updated", None, path_index, path.cc.cwnd)
+
+    def _op_retransmit_packet(self, conn, pkt: SentPacket) -> None:
+        for frame in pkt.frames:
+            self.protoops.run(
+                self, "notify_frame", self._frame_param(frame.type), frame, False, pkt
+            )
+
+    def _default_frame_notifiers(self) -> dict:
+        """Default ACK/loss notifications per frame type.
+
+        Signature: (conn, frame, acked: bool, sent_packet).
+        """
+        def stream_notify(conn, frame, acked, pkt):
+            stream = self.streams_send.get(frame.stream_id)
+            if stream is None:
+                return
+            if acked:
+                stream.on_ack(frame.offset, len(frame.data), frame.fin)
+                if stream.all_acked:
+                    self.protoops.run(self, "stream_closed", None, frame.stream_id)
+            else:
+                stream.on_loss(frame.offset, len(frame.data), frame.fin)
+
+        def crypto_notify(conn, frame, acked, pkt):
+            if acked:
+                self._crypto_send.on_ack(frame.offset, len(frame.data), False)
+            else:
+                self._crypto_send.on_loss(frame.offset, len(frame.data), False)
+
+        def requeue_on_loss(conn, frame, acked, pkt):
+            if not acked:
+                self._control_frames.append(frame)
+
+        def ignore(conn, frame, acked, pkt):
+            return None
+
+        return {
+            "stream": stream_notify,
+            F.CRYPTO: crypto_notify,
+            F.MAX_DATA: requeue_on_loss,
+            F.MAX_STREAM_DATA: requeue_on_loss,
+            F.MAX_STREAMS: requeue_on_loss,
+            F.RESET_STREAM: requeue_on_loss,
+            F.STOP_SENDING: requeue_on_loss,
+            F.PING: ignore,
+            F.ACK: ignore,
+            F.PADDING: ignore,
+            F.PATH_CHALLENGE: requeue_on_loss,
+            F.PATH_RESPONSE: ignore,
+            F.CONNECTION_CLOSE: ignore,
+            F.HANDSHAKE_DONE: requeue_on_loss,
+            F.NEW_CONNECTION_ID: requeue_on_loss,
+            F.DATA_BLOCKED: ignore,
+            F.STREAM_DATA_BLOCKED: ignore,
+        }
+
+    # ------------------------------------------------------------------
+    # Timers.
+    # ------------------------------------------------------------------
+
+    def _op_set_loss_alarm(self, conn) -> Optional[float]:
+        """Earliest loss/PTO deadline across spaces and paths."""
+        deadlines = []
+        t = self.initial_space.next_timer(self.paths[0].rtt, self._pto_count)
+        if t is not None:
+            deadlines.append(t)
+        for path in self.paths:
+            t = path.space.next_timer(path.rtt, self._pto_count)
+            if t is not None:
+                deadlines.append(t)
+        return min(deadlines) if deadlines else None
+
+    def _op_set_idle_timer(self, conn) -> float:
+        return self._last_activity + self.configuration.transport_parameters.idle_timeout
+
+    def next_timer(self) -> Optional[float]:
+        if self.closed:
+            return None
+        alarm = self.protoops.run(self, "set_loss_alarm", None)
+        idle = self.protoops.run(self, "set_idle_timer", None)
+        candidates = [t for t in (alarm, idle) if t is not None]
+        return min(candidates) if candidates else None
+
+    def handle_timer(self, now: float) -> None:
+        if self.closed:
+            return
+        self.now = max(self.now, now)
+        idle = self.protoops.run(self, "set_idle_timer", None)
+        if now >= idle:
+            self.protoops.run(self, "idle_timeout_event", None)
+            self._finish_close(0, "idle timeout")
+            return
+        alarm = self.protoops.run(self, "set_loss_alarm", None)
+        if alarm is not None and now >= alarm - 1e-12:
+            self.protoops.run(self, "on_loss_alarm", None)
+
+    def _op_on_loss_alarm(self, conn) -> None:
+        self.protoops.run(self, "loss_alarm_fired", None)
+        fired = False
+        for space, path in self._spaces_and_paths():
+            if space.loss_time is not None and self.now >= space.loss_time - 1e-12:
+                lost = self.protoops.run(self, "detect_lost_packets", None, space, path.index)
+                for pkt in lost:
+                    self.protoops.run(self, "on_packet_lost", None, pkt, path.index)
+                fired = True
+        if not fired:
+            # PTO: retransmit the oldest outstanding data.
+            self._pto_count += 1
+            for space, path in self._spaces_and_paths():
+                deadline = space.pto_deadline(path.rtt, max(0, self._pto_count - 1))
+                if deadline is not None and self.now >= deadline - 1e-12:
+                    for pkt in space.on_pto(self.now, path.rtt):
+                        self.protoops.run(self, "on_packet_lost", None, pkt, path.index)
+
+    def _op_detect_lost_packets(self, conn, space: PacketNumberSpace, path_index: int) -> list:
+        return space.detect_lost(self.now, self.paths[path_index].rtt)
+
+    def _spaces_and_paths(self):
+        yield self.initial_space, self.paths[0]
+        for path in self.paths:
+            yield path.space, path
+
+    # ------------------------------------------------------------------
+    # Receiving datagrams.
+    # ------------------------------------------------------------------
+
+    def receive_datagram(self, data: bytes, now: float, path_index: int = 0) -> None:
+        if self.closed:
+            return
+        self.now = max(self.now, now)
+        self._last_activity = self.now
+        self.stats["bytes_received"] += len(data)
+        try:
+            self.protoops.run(self, "process_incoming_packet", None, data, path_index)
+        except ProtoopError as exc:
+            self.abort_on_plugin_failure(exc)
+        except CryptoError:
+            pass  # undecryptable packets are dropped silently
+        except TransportError as exc:
+            self.close(int(exc.code), exc.reason)
+
+    def _op_parse_packet_header(self, conn, buf: Buffer) -> tuple:
+        return parse_header(buf, CID_LENGTH)
+
+    def _op_decode_packet_number(self, conn, truncated: int, largest: int) -> int:
+        return decode_packet_number(truncated, largest)
+
+    def _op_process_incoming_packet(self, conn, data: bytes, path_index: int) -> None:
+        buf = Buffer(data)
+        header, payload_len = self.protoops.run(self, "parse_packet_header", None, buf)
+        header_bytes = data[:buf.position]
+        ciphertext = buf.pull_bytes(payload_len)
+        epoch = header.epoch
+        if epoch is Epoch.HANDSHAKE:
+            raise ProtocolViolation("handshake epoch unused in this model")
+        if epoch is Epoch.INITIAL and self.crypto[Epoch.INITIAL] is None:
+            # Server side: derive initial keys from the client's DCID.
+            self._original_dcid = header.destination_cid
+            self.crypto[Epoch.INITIAL] = initial_crypto_pair(header.destination_cid, False)
+        pair = self.crypto[epoch]
+        if pair is None:
+            raise CryptoError(f"no keys for epoch {epoch}")
+        if path_index >= len(self.paths):
+            path_index = 0
+        space = self.initial_space if epoch is Epoch.INITIAL else self.paths[path_index].space
+        full_pn = self.protoops.run(
+            self, "decode_packet_number", None,
+            header.packet_number, space.largest_received,
+        )
+        plaintext = pair.recv.open(full_pn, header_bytes, ciphertext)
+        if epoch is Epoch.INITIAL and header.source_cid:
+            # Both sides learn the peer's chosen source CID from Initials.
+            self.peer_cid = header.source_cid
+        if epoch is Epoch.ONE_RTT:
+            # Spin bit: the server echoes, the client inverts (§4.1 / [96]).
+            new_spin = header.spin_bit if not self.is_client else not header.spin_bit
+            if new_spin != self.spin_bit:
+                self.protoops.run(self, "spin_bit_flipped", None, new_spin)
+            self.spin_bit = new_spin
+        self._process_payload(epoch, path_index, full_pn, plaintext, space)
+
+    def _process_payload(
+        self,
+        epoch: Epoch,
+        path_index: int,
+        pn: int,
+        plaintext: bytes,
+        space: PacketNumberSpace,
+    ) -> None:
+        self.stats["packets_received"] += 1
+        buf = Buffer(plaintext)
+        ctx = {"epoch": epoch, "path_index": path_index, "packet_number": pn}
+        ack_eliciting = False
+        decoded = []
+        parse_op = self.protoops.get("parse_frame")
+        while not buf.eof():
+            frame_type = buf.pull_varint()
+            param = self._frame_param(frame_type)
+            if parse_op.behavior(param) is None:
+                param = "default"
+            frame = self.protoops.run(self, "parse_frame", param, buf, frame_type)
+            decoded.append((frame_type, frame))
+        if not space.record_received(pn, self.now, False):
+            self.stats["spurious_received"] += 1
+            return  # duplicate (e.g. already FEC-recovered)
+        for frame_type, frame in decoded:
+            self.stats["frames_received"] += 1
+            if frame.ack_eliciting:
+                ack_eliciting = True
+            param = self._frame_param(frame_type)
+            op = self.protoops.get("process_frame")
+            if param not in op.params():
+                raise ProtocolViolation(f"no processor for frame 0x{frame_type:x}")
+            self.protoops.run(self, "process_frame", param, frame, ctx)
+        if ack_eliciting:
+            space.ack_needed = True
+        self.protoops.run(self, "frames_decoded", None, epoch, path_index, pn, decoded)
+        self.protoops.run(
+            self, "packet_received_event", None, epoch, path_index, pn, plaintext
+        )
+
+    def _op_process_recovered_payload(self, conn, path_index: int, pn: int, plaintext: bytes) -> None:
+        """Inject a FEC-recovered packet payload as if the packet arrived."""
+        space = self.paths[path_index].space
+        if pn in space.received:
+            return
+        self._process_payload(Epoch.ONE_RTT, path_index, pn, plaintext, space)
+
+    # ------------------------------------------------------------------
+    # Sending datagrams.
+    # ------------------------------------------------------------------
+
+    def _op_get_destination_cid(self, conn) -> bytes:
+        return self.peer_cid
+
+    def _op_get_source_cid(self, conn) -> bytes:
+        return self.local_cid
+
+    def _op_set_spin_bit(self, conn) -> bool:
+        return self.spin_bit
+
+    def _op_select_sending_path(self, conn) -> int:
+        """Default single-path behaviour; the multipath plugin replaces it."""
+        return 0
+
+    def _op_get_path(self, conn, index: int) -> Path:
+        return self.paths[index]
+
+    def _op_map_incoming_path(self, conn, local_addr: str, peer_addr: str) -> int:
+        """Which path an incoming datagram belongs to. The multipath
+        plugin replaces this to create paths for new address pairs."""
+        for path in self.paths:
+            if path.local_addr == local_addr and path.peer_addr == peer_addr:
+                return path.index
+        return 0
+
+    def _op_create_path(self, conn, local_addr: str, peer_addr: str) -> int:
+        path = Path(len(self.paths), self.configuration.initial_window)
+        path.local_addr = local_addr
+        path.peer_addr = peer_addr
+        path.active = True
+        self.paths.append(path)
+        self.protoops.run(self, "path_created", None, path.index)
+        return path.index
+
+    def _op_path_bytes_allowed(self, conn, path_index: int) -> int:
+        return self.paths[path_index].cc.available_window
+
+    def _op_stream_to_send(self, conn) -> Optional[int]:
+        """Pick the next stream with sendable data (round-robin-ish)."""
+        for stream_id, stream in self.streams_send.items():
+            if stream.has_pending and (
+                stream.bytes_in_flight_or_pending == 0
+                or self.data_sent < self.max_data_remote
+                or True
+            ):
+                return stream_id
+        return None
+
+    def _op_reserve_frame_slot(self, conn, reserved: ReservedFrame) -> None:
+        self.reserved_frames.append(reserved)
+
+    def reserve_frames(self, reserved: list) -> None:
+        """Plugin API (Table 1): book slots for sending frames."""
+        for r in reserved:
+            self.protoops.run(self, "reserve_frame_slot", None, r)
+
+    def datagrams_to_send(self, now: float) -> list:
+        """Build as many packets as credit allows; returns
+        [(payload, path_index), ...]."""
+        self.now = max(self.now, now)
+        out = []
+        if self._close_frame_pending is not None:
+            pkt = self._build_close_packet()
+            if pkt is not None:
+                out.append((pkt, 0))
+            self._close_frame_pending = None
+            return out
+        if self.closed:
+            return out
+        for _ in range(256):  # per-call packet budget
+            built = self.protoops.run(self, "prepare_packet", None)
+            if built is None:
+                break
+            out.append(built)
+        return out
+
+    def _build_close_packet(self) -> Optional[bytes]:
+        epoch = Epoch.ONE_RTT if self.crypto[Epoch.ONE_RTT] is not None else Epoch.INITIAL
+        if self.crypto[epoch] is None:
+            return None
+        payload = self._close_frame_pending.to_bytes()
+        return self._protect_and_record(epoch, 0, payload, [], False)
+
+    def _op_prepare_packet(self, conn) -> Optional[tuple]:
+        """Build one packet if anything needs sending. Returns
+        (datagram_bytes, path_index) or None."""
+        self.protoops.run(self, "before_sending_packet", None)
+        # Initial epoch first (handshake); the call also queues a pending
+        # ClientHello.
+        if self._initial_needs_sending():
+            pkt = self._prepare_epoch_packet(Epoch.INITIAL, 0)
+            if pkt is not None:
+                return pkt, 0
+        if self.crypto[Epoch.ONE_RTT] is None:
+            return None
+        path_index = self.protoops.run(self, "select_sending_path", None)
+        pkt = self._prepare_epoch_packet(Epoch.ONE_RTT, path_index)
+        if pkt is not None:
+            return pkt, path_index
+        return None
+
+    def _initial_needs_sending(self) -> bool:
+        if self.crypto[Epoch.INITIAL] is None:
+            return False
+        if getattr(self, "_ch_pending", False):
+            self._ch_pending = False
+            self._queue_handshake_message(HANDSHAKE_CH)
+        return self._crypto_send.has_pending or self.initial_space.ack_needed
+
+    def _prepare_epoch_packet(self, epoch: Epoch, path_index: int) -> Optional[bytes]:
+        path = self.paths[path_index]
+        space = self.initial_space if epoch is Epoch.INITIAL else path.space
+        budget = self.configuration.max_udp_payload_size - TAG_LENGTH - 32
+        frames, ack_only = self.protoops.run(
+            self, "schedule_frames", None, epoch, path_index, budget
+        )
+        if not frames:
+            return None
+        payload = Buffer()
+        for frame in frames:
+            self.protoops.run(
+                self, "write_frame",
+                self._write_param(frame), frame, payload,
+            )
+        plaintext = payload.data()
+        return self._protect_and_record(
+            epoch, path_index, plaintext, frames, not ack_only
+        )
+
+    def _write_param(self, frame: F.Frame) -> Any:
+        op = self.protoops.get("write_frame")
+        param = self._frame_param(frame.type)
+        if param in op.params():
+            return param
+        return "default"
+
+    def _protect_and_record(
+        self,
+        epoch: Epoch,
+        path_index: int,
+        plaintext: bytes,
+        frames: list,
+        ack_eliciting: bool,
+    ) -> bytes:
+        return self.protoops.run(
+            self, "finalize_and_protect_packet", None,
+            epoch, path_index, plaintext, frames, ack_eliciting,
+        )
+
+    def _op_finalize_and_protect(
+        self,
+        conn,
+        epoch: Epoch,
+        path_index: int,
+        plaintext: bytes,
+        frames: list,
+        ack_eliciting: bool,
+    ) -> bytes:
+        path = self.paths[path_index]
+        space = self.initial_space if epoch is Epoch.INITIAL else path.space
+        pn = space.take_packet_number()
+        self.protoops.run(self, "packet_ready", None, epoch, path_index, pn, plaintext)
+        if epoch is Epoch.INITIAL:
+            dcid = self.protoops.run(self, "get_destination_cid", None)
+            header = encode_long_header(
+                PacketType.INITIAL,
+                dcid,
+                self.protoops.run(self, "get_source_cid", None),
+                pn,
+                len(plaintext) + TAG_LENGTH,
+            )
+        else:
+            header = encode_short_header(
+                self.protoops.run(self, "get_destination_cid", None),
+                pn,
+                spin_bit=self.protoops.run(self, "set_spin_bit", None),
+            )
+        packet = seal_packet(header, plaintext, self.crypto[epoch].send, pn)
+        if epoch is Epoch.INITIAL and self.is_client and len(packet) < INITIAL_PADDING_TARGET:
+            # Clients pad Initial datagrams (anti-amplification).
+            pad = INITIAL_PADDING_TARGET - len(packet)
+            padded_plain = plaintext + b"\x00" * pad
+            packet = seal_packet(
+                encode_long_header(
+                    PacketType.INITIAL, dcid,
+                    self.local_cid, pn, len(padded_plain) + TAG_LENGTH,
+                ),
+                padded_plain, self.crypto[epoch].send, pn,
+            )
+        # Every ack-eliciting frame is tracked for ACK/loss notification;
+        # whether a lost frame is retransmitted is the per-type notifier's
+        # decision (e.g. DATAGRAM frames only count their losses, §4.2).
+        notified = [
+            f for f in frames
+            if f.ack_eliciting or isinstance(f, F.CryptoFrame)
+        ]
+        sent = SentPacket(
+            packet_number=pn,
+            sent_time=self.now,
+            size=len(packet),
+            ack_eliciting=ack_eliciting,
+            in_flight=ack_eliciting,
+            frames=notified,
+            path_id=path_index,
+        )
+        space.on_packet_sent(sent)
+        if sent.in_flight:
+            path.cc.on_packet_sent(sent.size)
+        self.stats["packets_sent"] += 1
+        self.stats["bytes_sent"] += len(packet)
+        self._last_activity = self.now
+        self.protoops.run(self, "packet_sent_event", None, sent)
+        return packet
+
+    # ------------------------------------------------------------------
+    # Frame scheduling (default; repro.core.scheduler provides CBQ+DRR
+    # once plugins reserve frames).
+    # ------------------------------------------------------------------
+
+    def _op_schedule_frames(self, conn, epoch: Epoch, path_index: int, budget: int) -> tuple:
+        """Fill one packet's frame list. Returns (frames, ack_only)."""
+        from repro.core.scheduler import schedule_packet_frames
+
+        return schedule_packet_frames(self, epoch, path_index, budget)
+
+    # Helpers used by the scheduler ------------------------------------
+
+    def pop_control_frame(self) -> Optional[F.Frame]:
+        if self._control_frames:
+            return self._control_frames.pop(0)
+        return None
+
+    def peek_control_frames(self) -> list:
+        return list(self._control_frames)
+
+    def connection_flow_credit(self) -> int:
+        return max(0, self.max_data_remote - self.data_sent)
+
+    @property
+    def is_established(self) -> bool:
+        return self.handshake_complete
+
+    def data_to_send_pending(self) -> bool:
+        """True when application data is waiting (used by the scheduler's
+        core-traffic guarantee)."""
+        return any(s.has_pending for s in self.streams_send.values())

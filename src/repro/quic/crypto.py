@@ -1,0 +1,126 @@
+"""Simulated packet protection and key schedule.
+
+The real PQUIC uses TLS 1.3 (picotls).  Inside the simulator we substitute
+a deterministic construction that preserves the properties the paper relies
+on: payloads and most header bits are opaque to on-path observers, packets
+are integrity-protected (any tamper is detected and the packet dropped),
+and keys are derived per-connection and per-epoch.
+
+Construction (NOT cryptographically secure against an active attacker who
+sees the handshake — it is a simulation substrate, documented in DESIGN.md):
+
+* keystream: SHA-256(key || nonce || counter) blocks XORed over the payload;
+* tag: first 16 bytes of SHA-256(key || nonce || header || plaintext);
+* initial secrets derived from the client's destination connection ID, as
+  in QUIC, so both endpoints can protect Initial packets before key
+  agreement completes;
+* 1-RTT secrets derived from both endpoints' random key shares exchanged in
+  CRYPTO frames.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from typing import Optional
+
+from .errors import CryptoError
+
+TAG_LENGTH = 16
+INITIAL_SALT = b"pquic-repro-initial-salt"
+
+
+def _hash(*parts: bytes) -> bytes:
+    h = hashlib.sha256()
+    for p in parts:
+        h.update(len(p).to_bytes(4, "big"))
+        h.update(p)
+    return h.digest()
+
+
+def hkdf_like(secret: bytes, label: bytes) -> bytes:
+    """Derive a sub-key from ``secret`` for ``label`` (HKDF-expand analogue)."""
+    return hmac.new(secret, b"pquic " + label, hashlib.sha256).digest()
+
+
+def _keystream(key: bytes, nonce: bytes, length: int) -> bytes:
+    """Expand one hash block to ``length`` bytes.
+
+    A real AEAD derives every block independently; repeating a single
+    per-packet block keeps payloads opaque to the simulated network while
+    making packet protection cheap enough for large-scale experiments."""
+    block = _hash(key, nonce)
+    reps = length // len(block) + 1
+    return (block * reps)[:length]
+
+
+def _xor(data: bytes, keystream: bytes) -> bytes:
+    n = int.from_bytes(data, "big") ^ int.from_bytes(keystream[: len(data)], "big")
+    return n.to_bytes(len(data), "big")
+
+
+class AeadContext:
+    """Seals/opens packet payloads for one direction of one epoch."""
+
+    def __init__(self, key: bytes):
+        if len(key) < 16:
+            raise ValueError("key too short")
+        self.key = key
+
+    def _nonce(self, packet_number: int) -> bytes:
+        return packet_number.to_bytes(8, "big")
+
+    def seal(self, packet_number: int, header: bytes, plaintext: bytes) -> bytes:
+        """Encrypt ``plaintext``, authenticating ``header`` as AD."""
+        nonce = self._nonce(packet_number)
+        cipher = _xor(plaintext, _keystream(self.key, nonce, len(plaintext)))
+        tag = _hash(self.key, nonce, header, plaintext)[:TAG_LENGTH]
+        return cipher + tag
+
+    def open(self, packet_number: int, header: bytes, ciphertext: bytes) -> bytes:
+        """Decrypt and verify; raises CryptoError on any mismatch."""
+        if len(ciphertext) < TAG_LENGTH:
+            raise CryptoError("ciphertext shorter than tag")
+        nonce = self._nonce(packet_number)
+        cipher, tag = ciphertext[:-TAG_LENGTH], ciphertext[-TAG_LENGTH:]
+        plaintext = _xor(cipher, _keystream(self.key, nonce, len(cipher)))
+        expected = _hash(self.key, nonce, header, plaintext)[:TAG_LENGTH]
+        if not hmac.compare_digest(tag, expected):
+            raise CryptoError("AEAD tag mismatch")
+        return plaintext
+
+
+class CryptoPair:
+    """The (send, receive) AEAD contexts for one packet-number space."""
+
+    def __init__(self, send_key: bytes, recv_key: bytes):
+        self.send = AeadContext(send_key)
+        self.recv = AeadContext(recv_key)
+
+
+def initial_crypto_pair(destination_cid: bytes, is_client: bool) -> CryptoPair:
+    """Initial keys derived from the client's first destination CID."""
+    secret = hmac.new(INITIAL_SALT, destination_cid, hashlib.sha256).digest()
+    client_key = hkdf_like(secret, b"client initial")
+    server_key = hkdf_like(secret, b"server initial")
+    if is_client:
+        return CryptoPair(client_key, server_key)
+    return CryptoPair(server_key, client_key)
+
+
+def session_secret(client_share: bytes, server_share: bytes) -> bytes:
+    """Combine the two key shares into the 1-RTT master secret.
+
+    Both sides see both shares after the handshake, so both compute the
+    same secret.  (A real deployment uses an actual key agreement; the
+    plugins never see these keys either way — §2.3, footnote 4.)
+    """
+    return _hash(b"session", client_share, server_share)
+
+
+def one_rtt_crypto_pair(secret: bytes, is_client: bool) -> CryptoPair:
+    client_key = hkdf_like(secret, b"client 1rtt")
+    server_key = hkdf_like(secret, b"server 1rtt")
+    if is_client:
+        return CryptoPair(client_key, server_key)
+    return CryptoPair(server_key, client_key)

@@ -1,0 +1,190 @@
+"""Endpoint adapters: glue between sans-io connections and the simulator.
+
+A :class:`ClientEndpoint` drives a single connection; a
+:class:`ServerEndpoint` demultiplexes incoming datagrams onto per-client
+connections by destination connection ID and spawns new connections for
+unknown Initials.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.netsim import Datagram, Host, Simulator
+
+from .connection import CID_LENGTH, QuicConfiguration, QuicConnection
+from .packet import FORM_LONG
+
+
+class _ConnectionDriver:
+    """Pumps one connection: sends datagrams, manages its timer event."""
+
+    def __init__(self, sim: Simulator, host: Host, local_port: int,
+                 peer_port: int, conn: QuicConnection):
+        self.sim = sim
+        self.host = host
+        self.local_port = local_port
+        self.peer_port = peer_port
+        self.conn = conn
+        self._timer_event = None
+
+    def pump(self) -> None:
+        """Send everything sendable and rearm the timer."""
+        for payload, path_index in self.conn.datagrams_to_send(self.sim.now):
+            path = self.conn.paths[path_index]
+            if path.local_addr is None or path.peer_addr is None:
+                continue
+            self.host.sendto(
+                payload, path.local_addr, self.local_port,
+                path.peer_addr, self.peer_port,
+            )
+        self._rearm_timer()
+
+    def _rearm_timer(self) -> None:
+        if self._timer_event is not None:
+            self._timer_event.cancel()
+            self._timer_event = None
+        deadline = self.conn.next_timer()
+        if deadline is None or self.conn.closed:
+            return
+        # Enforce minimum progress: a deadline at or before `now` must
+        # still advance simulated time, or a no-op alarm would loop the
+        # simulation at a single instant.
+        deadline = max(deadline, self.sim.now + 1e-4)
+        self._timer_event = self.sim.schedule_at(deadline, self._on_timer)
+
+    def _on_timer(self) -> None:
+        self._timer_event = None
+        self.conn.handle_timer(self.sim.now)
+        self.pump()
+
+    def receive(self, dgram: Datagram) -> None:
+        try:
+            path_index = self.conn.protoops.run(
+                self.conn, "map_incoming_path", None,
+                dgram.dst_addr, dgram.src_addr,
+            )
+        except Exception:
+            path_index = 0
+        before = self.conn.stats["packets_received"]
+        if getattr(dgram, "ecn_ce", False):
+            self.conn.stats["ecn_ce_received"] += 1
+        self.conn.receive_datagram(dgram.payload, self.sim.now, path_index)
+        path = self.conn.paths[path_index]
+        if (
+            self.conn.stats["packets_received"] > before
+            and path.peer_addr != dgram.src_addr
+            and self.conn.handshake_complete
+        ):
+            # The packet authenticated under this connection's keys but
+            # arrived from a new peer address: a NAT rebinding.  QUIC's
+            # connection IDs make the connection survive it (§4.3) — the
+            # path follows the peer.
+            path.peer_addr = dgram.src_addr
+            self.peer_port = dgram.src_port
+        self.pump()
+
+    def stop(self) -> None:
+        if self._timer_event is not None:
+            self._timer_event.cancel()
+            self._timer_event = None
+
+
+class ClientEndpoint:
+    """A client endpoint owning one connection on one UDP port."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        host: Host,
+        local_addr: str,
+        local_port: int,
+        server_addr: str,
+        server_port: int,
+        configuration: Optional[QuicConfiguration] = None,
+    ):
+        self.sim = sim
+        self.host = host
+        configuration = configuration or QuicConfiguration(is_client=True)
+        configuration.is_client = True
+        self.conn = QuicConnection(configuration, now=sim.now)
+        path0 = self.conn.paths[0]
+        path0.local_addr = local_addr
+        path0.peer_addr = server_addr
+        self.driver = _ConnectionDriver(sim, host, local_port, server_port, self.conn)
+        host.bind(local_port, self.driver.receive)
+
+    def connect(self) -> None:
+        """Kick off the handshake (the client Initial)."""
+        self.driver.pump()
+
+    def pump(self) -> None:
+        self.driver.pump()
+
+    def close(self, error_code: int = 0, reason: str = "") -> None:
+        self.conn.close(error_code, reason)
+        self.driver.pump()
+        self.driver.stop()
+
+
+class ServerEndpoint:
+    """A server endpoint accepting any number of connections on one port."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        host: Host,
+        local_addr: str,
+        port: int,
+        configuration_factory: Optional[Callable[[], QuicConfiguration]] = None,
+        on_connection: Optional[Callable[[QuicConnection], None]] = None,
+    ):
+        self.sim = sim
+        self.host = host
+        self.local_addr = local_addr
+        self.port = port
+        self.configuration_factory = configuration_factory or (
+            lambda: QuicConfiguration(is_client=False)
+        )
+        self.on_connection = on_connection
+        self.connections: list[QuicConnection] = []
+        self._by_cid: dict[bytes, _ConnectionDriver] = {}
+        host.bind(port, self._receive)
+
+    def _receive(self, dgram: Datagram) -> None:
+        dcid = self._destination_cid(dgram.payload)
+        if dcid is None:
+            return
+        driver = self._by_cid.get(dcid)
+        if driver is None:
+            if not dgram.payload or not dgram.payload[0] & FORM_LONG:
+                return  # short-header packet for an unknown connection
+            driver = self._accept(dgram, dcid)
+        driver.receive(dgram)
+
+    def _accept(self, dgram: Datagram, dcid: bytes) -> _ConnectionDriver:
+        configuration = self.configuration_factory()
+        configuration.is_client = False
+        conn = QuicConnection(configuration, now=self.sim.now)
+        path0 = conn.paths[0]
+        path0.local_addr = dgram.dst_addr
+        path0.peer_addr = dgram.src_addr
+        driver = _ConnectionDriver(self.sim, self.host, self.port,
+                                   dgram.src_port, conn)
+        self.connections.append(conn)
+        self._by_cid[dcid] = driver           # client's initial random DCID
+        self._by_cid[conn.local_cid] = driver  # our CID in short headers
+        if self.on_connection is not None:
+            self.on_connection(conn)
+        return driver
+
+    @staticmethod
+    def _destination_cid(payload: bytes) -> Optional[bytes]:
+        if not payload:
+            return None
+        if payload[0] & FORM_LONG:
+            if len(payload) < 6:
+                return None
+            dcid_len = payload[5]
+            return payload[6:6 + dcid_len]
+        return payload[1:1 + CID_LENGTH]

@@ -1,0 +1,13 @@
+"""Re-export of the shared error definitions (see :mod:`repro.errors`)."""
+
+from repro.errors import (  # noqa: F401
+    CryptoError,
+    FinalSizeError,
+    FlowControlError,
+    FrameEncodingError,
+    ProtocolViolation,
+    QuicError,
+    StreamStateError,
+    TransportError,
+    TransportErrorCode,
+)

@@ -1,0 +1,186 @@
+"""QUIC packet headers: long (Initial/Handshake) and short (1-RTT).
+
+The wire image is a simplified but faithful rendering of the draft-14
+design: long headers carry version and both connection IDs during the
+handshake, short headers carry only the destination CID plus the Spin Bit
+(§4.1), packet numbers are truncated to 32 bits on the wire and recovered
+against the largest received number, and everything after the header is
+AEAD-protected.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .crypto import AeadContext
+from .errors import FrameEncodingError, ProtocolViolation
+from .wire import Buffer
+
+QUIC_VERSION = 0xFF00000E  # draft-14
+
+FORM_LONG = 0x80
+FIXED_BIT = 0x40
+SPIN_BIT = 0x20
+LONG_TYPE_INITIAL = 0x00
+LONG_TYPE_HANDSHAKE = 0x10
+PN_WIRE_BYTES = 4
+
+
+class PacketType(enum.Enum):
+    INITIAL = "initial"
+    HANDSHAKE = "handshake"
+    ONE_RTT = "1rtt"
+
+
+class Epoch(enum.IntEnum):
+    """Packet number spaces / encryption epochs."""
+
+    INITIAL = 0
+    HANDSHAKE = 1
+    ONE_RTT = 2
+
+
+EPOCH_FOR_TYPE = {
+    PacketType.INITIAL: Epoch.INITIAL,
+    PacketType.HANDSHAKE: Epoch.HANDSHAKE,
+    PacketType.ONE_RTT: Epoch.ONE_RTT,
+}
+
+
+@dataclass
+class PacketHeader:
+    """Decoded header fields of an incoming packet."""
+
+    packet_type: PacketType
+    destination_cid: bytes
+    source_cid: bytes = b""
+    version: int = QUIC_VERSION
+    token: bytes = b""
+    spin_bit: bool = False
+    packet_number: int = 0  # truncated; expanded by the receiver
+
+    @property
+    def epoch(self) -> Epoch:
+        return EPOCH_FOR_TYPE[self.packet_type]
+
+
+def encode_packet_number(pn: int) -> bytes:
+    return (pn & 0xFFFFFFFF).to_bytes(PN_WIRE_BYTES, "big")
+
+
+def decode_packet_number(truncated: int, largest_received: int) -> int:
+    """Expand a 32-bit truncated packet number (RFC 9000 A.3, 32-bit window)."""
+    expected = largest_received + 1
+    window = 1 << (PN_WIRE_BYTES * 8)
+    half = window // 2
+    candidate = (expected & ~(window - 1)) | truncated
+    if candidate <= expected - half and candidate + window < (1 << 62):
+        return candidate + window
+    if candidate > expected + half and candidate >= window:
+        return candidate - window
+    return candidate
+
+
+def encode_long_header(
+    packet_type: PacketType,
+    destination_cid: bytes,
+    source_cid: bytes,
+    packet_number: int,
+    payload_length: int,
+    token: bytes = b"",
+    version: int = QUIC_VERSION,
+) -> bytes:
+    if packet_type not in (PacketType.INITIAL, PacketType.HANDSHAKE):
+        raise ValueError(f"not a long-header type: {packet_type}")
+    buf = Buffer()
+    flags = FORM_LONG | FIXED_BIT
+    flags |= LONG_TYPE_INITIAL if packet_type is PacketType.INITIAL else LONG_TYPE_HANDSHAKE
+    buf.push_uint8(flags)
+    buf.push_uint32(version)
+    buf.push_uint8(len(destination_cid))
+    buf.push_bytes(destination_cid)
+    buf.push_uint8(len(source_cid))
+    buf.push_bytes(source_cid)
+    if packet_type is PacketType.INITIAL:
+        buf.push_varint(len(token))
+        buf.push_bytes(token)
+    buf.push_varint(payload_length + PN_WIRE_BYTES)
+    buf.push_bytes(encode_packet_number(packet_number))
+    return buf.data()
+
+
+def encode_short_header(
+    destination_cid: bytes,
+    packet_number: int,
+    spin_bit: bool = False,
+) -> bytes:
+    buf = Buffer()
+    flags = FIXED_BIT | (SPIN_BIT if spin_bit else 0)
+    buf.push_uint8(flags)
+    buf.push_bytes(destination_cid)
+    buf.push_bytes(encode_packet_number(packet_number))
+    return buf.data()
+
+
+def parse_header(buf: Buffer, local_cid_length: int) -> tuple[PacketHeader, int]:
+    """Parse one packet header from ``buf``.
+
+    Returns (header, payload_length). For short-header packets the payload
+    runs to the end of the datagram (payload_length == buf.remaining after
+    the header).  ``local_cid_length`` tells the receiver how many bytes of
+    destination CID to strip from a short header.
+    """
+    start = buf.position
+    flags = buf.pull_uint8()
+    if not flags & FIXED_BIT:
+        raise ProtocolViolation("fixed bit is zero")
+    if flags & FORM_LONG:
+        version = buf.pull_uint32()
+        dcid = buf.pull_bytes(buf.pull_uint8())
+        scid = buf.pull_bytes(buf.pull_uint8())
+        long_type = flags & 0x30
+        if long_type == LONG_TYPE_INITIAL:
+            ptype = PacketType.INITIAL
+            token = buf.pull_bytes(buf.pull_varint())
+        elif long_type == LONG_TYPE_HANDSHAKE:
+            ptype = PacketType.HANDSHAKE
+            token = b""
+        else:
+            raise ProtocolViolation(f"unknown long packet type {long_type:#x}")
+        length = buf.pull_varint()
+        if length < PN_WIRE_BYTES or length - PN_WIRE_BYTES > buf.remaining:
+            raise FrameEncodingError("long header length field invalid")
+        pn = buf.pull_uint32()
+        header = PacketHeader(
+            packet_type=ptype,
+            destination_cid=dcid,
+            source_cid=scid,
+            version=version,
+            token=token,
+            packet_number=pn,
+        )
+        return header, length - PN_WIRE_BYTES
+    # Short header.
+    dcid = buf.pull_bytes(local_cid_length)
+    pn = buf.pull_uint32()
+    header = PacketHeader(
+        packet_type=PacketType.ONE_RTT,
+        destination_cid=dcid,
+        spin_bit=bool(flags & SPIN_BIT),
+        packet_number=pn,
+    )
+    return header, buf.remaining
+
+
+def seal_packet(header_bytes: bytes, payload: bytes, aead: AeadContext, full_pn: int) -> bytes:
+    """Encrypt ``payload`` and return the complete wire packet."""
+    return header_bytes + aead.seal(full_pn, header_bytes, payload)
+
+
+def open_payload(
+    header_bytes: bytes, ciphertext: bytes, aead: AeadContext, full_pn: int
+) -> bytes:
+    """Decrypt a packet payload given its reconstructed packet number."""
+    return aead.open(full_pn, header_bytes, ciphertext)

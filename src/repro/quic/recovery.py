@@ -1,0 +1,214 @@
+"""Loss recovery: RTT estimation, sent-packet tracking, loss detection.
+
+This is the machinery the paper's protoops wrap: ``update_rtt``,
+``process_frame[ACK]``, ``set_loss_alarm``, retransmission decisions — all
+exposed as pluggable operations by the connection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .frames import AckFrame, Frame
+from .wire import RangeSet
+
+K_GRANULARITY = 0.001  # 1 ms
+K_PACKET_THRESHOLD = 3
+K_TIME_THRESHOLD = 9 / 8
+K_INITIAL_RTT = 0.1
+MAX_ACK_DELAY = 0.025
+#: ACK frames report at most this many of the highest received ranges.
+MAX_ACK_RANGES = 32
+
+
+class RttEstimator:
+    """Smoothed RTT / variance per RFC 9002 §5."""
+
+    def __init__(self, initial_rtt: float = K_INITIAL_RTT):
+        self.latest: float = 0.0
+        self.min_rtt: float = float("inf")
+        self.smoothed: float = initial_rtt
+        self.variance: float = initial_rtt / 2
+        self.samples = 0
+
+    def update(self, latest: float, ack_delay: float = 0.0) -> None:
+        if latest <= 0:
+            return
+        self.latest = latest
+        self.samples += 1
+        if self.samples == 1:
+            self.min_rtt = latest
+            self.smoothed = latest
+            self.variance = latest / 2
+            return
+        self.min_rtt = min(self.min_rtt, latest)
+        adjusted = latest
+        if latest - ack_delay >= self.min_rtt:
+            adjusted = latest - ack_delay
+        self.variance = 0.75 * self.variance + 0.25 * abs(self.smoothed - adjusted)
+        self.smoothed = 0.875 * self.smoothed + 0.125 * adjusted
+
+    def pto(self) -> float:
+        return self.smoothed + max(4 * self.variance, K_GRANULARITY) + MAX_ACK_DELAY
+
+
+@dataclass
+class SentPacket:
+    """Bookkeeping for one sent, possibly-retransmittable packet."""
+
+    packet_number: int
+    sent_time: float
+    size: int
+    ack_eliciting: bool
+    in_flight: bool
+    frames: list = field(default_factory=list)
+    path_id: int = 0
+
+
+@dataclass
+class AckResult:
+    """Outcome of processing one ACK frame."""
+
+    newly_acked: list = field(default_factory=list)
+    lost: list = field(default_factory=list)
+    latest_rtt: Optional[float] = None
+
+
+class PacketNumberSpace:
+    """Send/receive state for one packet-number space (or one path)."""
+
+    def __init__(self) -> None:
+        # Send side.
+        self.next_packet_number = 0
+        self.sent: dict[int, SentPacket] = {}
+        self.largest_acked = -1
+        self.loss_time: Optional[float] = None
+        self.last_ack_eliciting_sent: Optional[float] = None
+        # Receive side.
+        self.received = RangeSet()
+        self.largest_received = -1
+        self.largest_received_time = 0.0
+        self.ack_needed = False
+
+    # --- sending ---------------------------------------------------------
+
+    def take_packet_number(self) -> int:
+        pn = self.next_packet_number
+        self.next_packet_number += 1
+        return pn
+
+    def on_packet_sent(self, packet: SentPacket) -> None:
+        self.sent[packet.packet_number] = packet
+        if packet.ack_eliciting:
+            self.last_ack_eliciting_sent = packet.sent_time
+
+    @property
+    def ack_eliciting_in_flight(self) -> int:
+        return sum(1 for p in self.sent.values() if p.ack_eliciting)
+
+    # --- receiving ---------------------------------------------------------
+
+    def record_received(self, packet_number: int, now: float, ack_eliciting: bool) -> bool:
+        """Track an incoming packet number; returns False for duplicates."""
+        if packet_number in self.received:
+            return False
+        self.received.add(packet_number)
+        if packet_number > self.largest_received:
+            self.largest_received = packet_number
+            self.largest_received_time = now
+        if ack_eliciting:
+            self.ack_needed = True
+        return True
+
+    def ack_frame(self, now: float) -> Optional[AckFrame]:
+        """Build an ACK frame for everything received so far."""
+        if not self.received:
+            return None
+        delay = max(0.0, now - self.largest_received_time)
+        return AckFrame(ranges=self.received.tail(MAX_ACK_RANGES), ack_delay=delay)
+
+    # --- ACK processing & loss detection ------------------------------------
+
+    def on_ack_received(
+        self, ack: AckFrame, now: float, rtt: RttEstimator
+    ) -> AckResult:
+        """Process a peer ACK; detects newly acked and (by packet threshold
+        and time threshold) lost packets."""
+        result = AckResult()
+        largest = ack.ranges.largest()
+        # Merge-walk the sorted outstanding packets against the sorted ACK
+        # ranges: O(sent + ranges) regardless of how many numbers the
+        # ranges cover.
+        ranges = list(ack.ranges)
+        candidates = []
+        ri = 0
+        for pn in sorted(self.sent):
+            while ri < len(ranges) and pn >= ranges[ri].stop:
+                ri += 1
+            if ri == len(ranges):
+                break
+            if pn >= ranges[ri].start:
+                candidates.append(pn)
+        for pn in candidates:
+            pkt = self.sent.pop(pn)
+            result.newly_acked.append(pkt)
+            if pn == largest and pkt.ack_eliciting:
+                result.latest_rtt = now - pkt.sent_time
+                rtt.update(result.latest_rtt, ack.ack_delay)
+        if largest > self.largest_acked:
+            self.largest_acked = largest
+        result.lost = self.detect_lost(now, rtt)
+        return result
+
+    def detect_lost(self, now: float, rtt: RttEstimator) -> list:
+        """Packet- and time-threshold loss detection (RFC 9002 §6.1)."""
+        self.loss_time = None
+        if self.largest_acked < 0:
+            return []
+        loss_delay = K_TIME_THRESHOLD * max(rtt.latest or rtt.smoothed, rtt.smoothed)
+        loss_delay = max(loss_delay, K_GRANULARITY)
+        lost: list[SentPacket] = []
+        for pn in sorted(self.sent):
+            if pn > self.largest_acked:
+                continue
+            pkt = self.sent[pn]
+            # The tolerance keeps this comparison consistent with the
+            # re-armed loss_time below: without it, floating-point error
+            # can re-arm the alarm at exactly `now` forever.
+            if (
+                self.largest_acked - pn >= K_PACKET_THRESHOLD
+                or pkt.sent_time + loss_delay <= now + 1e-9
+            ):
+                lost.append(pkt)
+            else:
+                when = pkt.sent_time + loss_delay
+                if self.loss_time is None or when < self.loss_time:
+                    self.loss_time = when
+        for pkt in lost:
+            del self.sent[pkt.packet_number]
+        return lost
+
+    def pto_deadline(self, rtt: RttEstimator, pto_count: int) -> Optional[float]:
+        """When the PTO alarm should fire, or None if nothing in flight."""
+        if self.last_ack_eliciting_sent is None or not self.sent:
+            return None
+        if not any(p.ack_eliciting for p in self.sent.values()):
+            return None
+        return self.last_ack_eliciting_sent + rtt.pto() * (1 << pto_count)
+
+    def next_timer(self, rtt: RttEstimator, pto_count: int) -> Optional[float]:
+        """Earliest of the loss-time and PTO alarms."""
+        candidates = [t for t in (self.loss_time, self.pto_deadline(rtt, pto_count)) if t is not None]
+        return min(candidates) if candidates else None
+
+    def on_pto(self, now: float, rtt: RttEstimator) -> list:
+        """PTO expiry: declare the oldest ack-eliciting packets lost so
+        their frames are retransmitted.
+
+        A full implementation sends probe packets; retransmit-on-PTO is an
+        accepted simplification that keeps identical recovery externally.
+        """
+        lost = [self.sent[pn] for pn in sorted(self.sent)]
+        self.sent.clear()
+        return lost

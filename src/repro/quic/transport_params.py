@@ -1,0 +1,132 @@
+"""QUIC transport parameters, including PQUIC's two plugin parameters.
+
+Section 3.4: "PQUIC proposes two new QUIC transport parameters:
+``supported_plugins`` and ``plugins_to_inject``, both containing an ordered
+list of protocol plugins identifiers."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .errors import TransportError, TransportErrorCode
+from .wire import Buffer
+
+# Parameter IDs (core ones follow RFC 9000 numbering; the PQUIC ones use a
+# private-range id, as an experimental extension would).
+PARAM_IDLE_TIMEOUT = 0x01
+PARAM_MAX_UDP_PAYLOAD_SIZE = 0x03
+PARAM_INITIAL_MAX_DATA = 0x04
+PARAM_INITIAL_MAX_STREAM_DATA = 0x05
+PARAM_INITIAL_MAX_STREAMS_BIDI = 0x08
+PARAM_INITIAL_MAX_STREAMS_UNI = 0x09
+PARAM_ACK_DELAY_EXPONENT = 0x0A
+PARAM_ORIGINAL_DCID = 0x0F
+PARAM_SUPPORTED_PLUGINS = 0x50
+PARAM_PLUGINS_TO_INJECT = 0x51
+
+
+@dataclass
+class TransportParameters:
+    """The negotiated per-connection transport configuration."""
+
+    idle_timeout: float = 30.0
+    max_udp_payload_size: int = 1452
+    initial_max_data: int = 1024 * 1024
+    initial_max_stream_data: int = 256 * 1024
+    initial_max_streams_bidi: int = 100
+    initial_max_streams_uni: int = 100
+    ack_delay_exponent: int = 3
+    original_dcid: Optional[bytes] = None
+    supported_plugins: list = field(default_factory=list)
+    plugins_to_inject: list = field(default_factory=list)
+
+    def serialize(self) -> bytes:
+        buf = Buffer()
+
+        def put(pid: int, payload: bytes) -> None:
+            buf.push_varint(pid)
+            buf.push_varint_prefixed_bytes(payload)
+
+        def put_varint(pid: int, value: int) -> None:
+            b = Buffer()
+            b.push_varint(value)
+            put(pid, b.data())
+
+        put_varint(PARAM_IDLE_TIMEOUT, int(self.idle_timeout * 1000))
+        put_varint(PARAM_MAX_UDP_PAYLOAD_SIZE, self.max_udp_payload_size)
+        put_varint(PARAM_INITIAL_MAX_DATA, self.initial_max_data)
+        put_varint(PARAM_INITIAL_MAX_STREAM_DATA, self.initial_max_stream_data)
+        put_varint(PARAM_INITIAL_MAX_STREAMS_BIDI, self.initial_max_streams_bidi)
+        put_varint(PARAM_INITIAL_MAX_STREAMS_UNI, self.initial_max_streams_uni)
+        put_varint(PARAM_ACK_DELAY_EXPONENT, self.ack_delay_exponent)
+        if self.original_dcid is not None:
+            put(PARAM_ORIGINAL_DCID, self.original_dcid)
+        for pid, names in (
+            (PARAM_SUPPORTED_PLUGINS, self.supported_plugins),
+            (PARAM_PLUGINS_TO_INJECT, self.plugins_to_inject),
+        ):
+            if names:
+                put(pid, _encode_plugin_list(names))
+        return buf.data()
+
+    @classmethod
+    def parse(cls, data: bytes) -> "TransportParameters":
+        params = cls()
+        buf = Buffer(data)
+        seen: set[int] = set()
+        while not buf.eof():
+            pid = buf.pull_varint()
+            payload = buf.pull_varint_prefixed_bytes()
+            if pid in seen:
+                raise TransportError(
+                    TransportErrorCode.TRANSPORT_PARAMETER_ERROR,
+                    f"duplicate transport parameter 0x{pid:x}",
+                )
+            seen.add(pid)
+            inner = Buffer(payload)
+            if pid == PARAM_IDLE_TIMEOUT:
+                params.idle_timeout = inner.pull_varint() / 1000.0
+            elif pid == PARAM_MAX_UDP_PAYLOAD_SIZE:
+                params.max_udp_payload_size = inner.pull_varint()
+            elif pid == PARAM_INITIAL_MAX_DATA:
+                params.initial_max_data = inner.pull_varint()
+            elif pid == PARAM_INITIAL_MAX_STREAM_DATA:
+                params.initial_max_stream_data = inner.pull_varint()
+            elif pid == PARAM_INITIAL_MAX_STREAMS_BIDI:
+                params.initial_max_streams_bidi = inner.pull_varint()
+            elif pid == PARAM_INITIAL_MAX_STREAMS_UNI:
+                params.initial_max_streams_uni = inner.pull_varint()
+            elif pid == PARAM_ACK_DELAY_EXPONENT:
+                params.ack_delay_exponent = inner.pull_varint()
+            elif pid == PARAM_ORIGINAL_DCID:
+                params.original_dcid = payload
+            elif pid == PARAM_SUPPORTED_PLUGINS:
+                params.supported_plugins = _decode_plugin_list(payload)
+            elif pid == PARAM_PLUGINS_TO_INJECT:
+                params.plugins_to_inject = _decode_plugin_list(payload)
+            # Unknown parameters are ignored (must-ignore semantics).
+        if params.max_udp_payload_size < 1200:
+            raise TransportError(
+                TransportErrorCode.TRANSPORT_PARAMETER_ERROR,
+                "max_udp_payload_size below 1200",
+            )
+        return params
+
+
+def _encode_plugin_list(names: list) -> bytes:
+    buf = Buffer()
+    buf.push_varint(len(names))
+    for name in names:
+        buf.push_varint_prefixed_bytes(name.encode("ascii"))
+    return buf.data()
+
+
+def _decode_plugin_list(payload: bytes) -> list:
+    buf = Buffer(payload)
+    count = buf.pull_varint()
+    names = []
+    for _ in range(count):
+        names.append(buf.pull_varint_prefixed_bytes().decode("ascii"))
+    return names

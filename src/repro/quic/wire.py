@@ -1,0 +1,265 @@
+"""Wire-level primitives: variable-length integers, buffers, range sets.
+
+QUIC's framing is built on varints (RFC 9000 §16); the same two-bit length
+prefix scheme is used here.  ``Buffer`` is a bounds-checked reader/writer
+and ``RangeSet`` tracks packet-number / byte ranges for ACKs and stream
+reassembly.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterable, Iterator, Optional
+
+from .errors import FrameEncodingError
+
+VARINT_MAX = (1 << 62) - 1
+
+
+def varint_size(value: int) -> int:
+    """Number of bytes the varint encoding of ``value`` occupies."""
+    if value < 0 or value > VARINT_MAX:
+        raise ValueError(f"varint out of range: {value}")
+    if value < 1 << 6:
+        return 1
+    if value < 1 << 14:
+        return 2
+    if value < 1 << 30:
+        return 4
+    return 8
+
+
+_VARINT_1BYTE = [bytes([v]) for v in range(64)]
+
+
+def encode_varint(value: int) -> bytes:
+    if 0 <= value < 64:
+        return _VARINT_1BYTE[value]
+    size = varint_size(value)
+    prefix = {1: 0x00, 2: 0x40, 4: 0x80, 8: 0xC0}[size]
+    data = value.to_bytes(size, "big")
+    return bytes([data[0] | prefix]) + data[1:]
+
+
+def decode_varint(data: bytes, offset: int = 0) -> tuple[int, int]:
+    """Decode a varint; returns (value, new_offset)."""
+    if offset >= len(data):
+        raise FrameEncodingError("varint truncated")
+    first = data[offset]
+    size = 1 << (first >> 6)
+    if offset + size > len(data):
+        raise FrameEncodingError("varint truncated")
+    value = first & 0x3F
+    for i in range(1, size):
+        value = (value << 8) | data[offset + i]
+    return value, offset + size
+
+
+class Buffer:
+    """A bounds-checked binary reader/writer used by all wire codecs."""
+
+    def __init__(self, data: bytes = b"", capacity: Optional[int] = None):
+        self._data = bytearray(data)
+        self._pos = 0
+        self._capacity = capacity
+
+    # --- reading -------------------------------------------------------
+
+    @property
+    def position(self) -> int:
+        return self._pos
+
+    def seek(self, pos: int) -> None:
+        if not 0 <= pos <= len(self._data):
+            raise FrameEncodingError(f"seek out of range: {pos}")
+        self._pos = pos
+
+    @property
+    def remaining(self) -> int:
+        return len(self._data) - self._pos
+
+    def eof(self) -> bool:
+        return self._pos >= len(self._data)
+
+    def pull_bytes(self, n: int) -> bytes:
+        if n < 0 or self._pos + n > len(self._data):
+            raise FrameEncodingError(f"read of {n} bytes past end")
+        out = bytes(self._data[self._pos:self._pos + n])
+        self._pos += n
+        return out
+
+    def pull_uint8(self) -> int:
+        return self.pull_bytes(1)[0]
+
+    def pull_uint16(self) -> int:
+        return int.from_bytes(self.pull_bytes(2), "big")
+
+    def pull_uint32(self) -> int:
+        return int.from_bytes(self.pull_bytes(4), "big")
+
+    def pull_uint64(self) -> int:
+        return int.from_bytes(self.pull_bytes(8), "big")
+
+    def pull_varint(self) -> int:
+        value, self._pos = decode_varint(self._data, self._pos)
+        return value
+
+    def pull_varint_prefixed_bytes(self) -> bytes:
+        return self.pull_bytes(self.pull_varint())
+
+    # --- writing -------------------------------------------------------
+
+    def push_bytes(self, data: bytes) -> None:
+        if self._capacity is not None and len(self._data) + len(data) > self._capacity:
+            raise FrameEncodingError("buffer capacity exceeded")
+        self._data.extend(data)
+
+    def push_uint8(self, v: int) -> None:
+        self.push_bytes(bytes([v & 0xFF]))
+
+    def push_uint16(self, v: int) -> None:
+        self.push_bytes((v & 0xFFFF).to_bytes(2, "big"))
+
+    def push_uint32(self, v: int) -> None:
+        self.push_bytes((v & 0xFFFFFFFF).to_bytes(4, "big"))
+
+    def push_uint64(self, v: int) -> None:
+        self.push_bytes(v.to_bytes(8, "big"))
+
+    def push_varint(self, v: int) -> None:
+        self.push_bytes(encode_varint(v))
+
+    def push_varint_prefixed_bytes(self, data: bytes) -> None:
+        self.push_varint(len(data))
+        self.push_bytes(data)
+
+    def data(self) -> bytes:
+        return bytes(self._data)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+
+class RangeSet:
+    """An ordered set of disjoint half-open integer ranges [start, end).
+
+    Used for received packet numbers (ACK generation) and stream byte
+    reassembly.  Ranges are kept sorted ascending and coalesced.
+    """
+
+    def __init__(self, ranges: Iterable[range] = ()):
+        self._ranges: list[range] = []
+        for r in ranges:
+            self.add(r.start, r.stop)
+
+    def add(self, start: int, stop: Optional[int] = None) -> None:
+        """Add [start, stop); ``add(n)`` adds the single integer n."""
+        if stop is None:
+            stop = start + 1
+        if stop <= start:
+            raise ValueError(f"empty range [{start}, {stop})")
+        ranges = self._ranges
+        # Fast paths: append after, or extend, the last range.
+        if ranges:
+            last = ranges[-1]
+            if start > last.stop:
+                ranges.append(range(start, stop))
+                return
+            if start >= last.start and stop > last.stop:
+                ranges[-1] = range(last.start, stop)
+                return
+            if start >= last.start and stop <= last.stop:
+                return
+        else:
+            ranges.append(range(start, stop))
+            return
+        # General case: find the window of overlapping/adjacent ranges
+        # with bisect and splice once.
+        starts = [r.start for r in ranges]
+        lo = bisect.bisect_left(starts, start)
+        # A range before lo may still touch [start, stop).
+        if lo > 0 and ranges[lo - 1].stop >= start:
+            lo -= 1
+        hi = lo
+        while hi < len(ranges) and ranges[hi].start <= stop:
+            hi += 1
+        if lo < hi:
+            start = min(start, ranges[lo].start)
+            stop = max(stop, ranges[hi - 1].stop)
+        ranges[lo:hi] = [range(start, stop)]
+
+    def subtract(self, start: int, stop: int) -> None:
+        """Remove [start, stop) from the set."""
+        if stop <= start:
+            return
+        new: list[range] = []
+        for r in self._ranges:
+            if r.stop <= start or r.start >= stop:
+                new.append(r)
+                continue
+            if r.start < start:
+                new.append(range(r.start, start))
+            if r.stop > stop:
+                new.append(range(stop, r.stop))
+        self._ranges = new
+
+    def copy(self) -> "RangeSet":
+        out = RangeSet()
+        out._ranges = list(self._ranges)
+        return out
+
+    def tail(self, max_ranges: int) -> "RangeSet":
+        """A copy keeping only the ``max_ranges`` highest ranges (ACK
+        frames bound how much history they report)."""
+        out = RangeSet()
+        out._ranges = list(self._ranges[-max_ranges:])
+        return out
+
+    def __contains__(self, value: int) -> bool:
+        ranges = self._ranges
+        if not ranges:
+            return False
+        idx = bisect.bisect_right([r.start for r in ranges], value) - 1
+        return idx >= 0 and ranges[idx].start <= value < ranges[idx].stop
+
+    def __len__(self) -> int:
+        return len(self._ranges)
+
+    def __iter__(self) -> Iterator[range]:
+        return iter(self._ranges)
+
+    def __bool__(self) -> bool:
+        return bool(self._ranges)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RangeSet):
+            return NotImplemented
+        return self._ranges == other._ranges
+
+    def bounds(self) -> range:
+        if not self._ranges:
+            raise ValueError("empty RangeSet")
+        return range(self._ranges[0].start, self._ranges[-1].stop)
+
+    def largest(self) -> int:
+        """Largest integer contained in the set."""
+        if not self._ranges:
+            raise ValueError("empty RangeSet")
+        return self._ranges[-1].stop - 1
+
+    def smallest(self) -> int:
+        if not self._ranges:
+            raise ValueError("empty RangeSet")
+        return self._ranges[0].start
+
+    def covered(self) -> int:
+        """Total number of integers contained."""
+        return sum(r.stop - r.start for r in self._ranges)
+
+    def descending(self) -> list[range]:
+        """Ranges from highest to lowest (ACK frame order)."""
+        return list(reversed(self._ranges))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"[{r.start},{r.stop})" for r in self._ranges)
+        return f"RangeSet({inner})"

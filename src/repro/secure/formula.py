@@ -1,0 +1,182 @@
+"""Validation formulas: ``PV1 & (PV2 | PV3)`` (§3.1).
+
+"A PQUIC implementation can send a logical formula that expresses its
+required validation [...] This design allows the PQUIC peers to precisely
+express their required safety guarantees."
+
+The grammar accepts identifiers, ``&``/``and``/``∧``, ``|``/``or``/``∨``
+and parentheses.  Formulas serialize to canonical strings for the
+PLUGIN_VALIDATE frame and evaluate against the set of validators whose
+proofs checked out.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, Set
+
+
+class FormulaError(ValueError):
+    """Malformed validation formula."""
+
+
+class Formula:
+    """Base class for formula nodes."""
+
+    def evaluate(self, satisfied: Set[str]) -> bool:
+        raise NotImplementedError
+
+    def validators(self) -> Set[str]:
+        """Every validator mentioned."""
+        raise NotImplementedError
+
+    def minimal_sets(self) -> list:
+        """Minimal sets of validators that satisfy the formula — what a
+        sender uses to decide which PVs to query for proofs."""
+        raise NotImplementedError
+
+    def __str__(self) -> str:
+        raise NotImplementedError
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Formula) and str(self) == str(other)
+
+    def __hash__(self) -> int:
+        return hash(str(self))
+
+
+class Var(Formula):
+    def __init__(self, name: str):
+        self.name = name
+
+    def evaluate(self, satisfied: Set[str]) -> bool:
+        return self.name in satisfied
+
+    def validators(self) -> Set[str]:
+        return {self.name}
+
+    def minimal_sets(self) -> list:
+        return [{self.name}]
+
+    def __str__(self) -> str:
+        return self.name
+
+
+class And(Formula):
+    def __init__(self, left: Formula, right: Formula):
+        self.left, self.right = left, right
+
+    def evaluate(self, satisfied: Set[str]) -> bool:
+        return self.left.evaluate(satisfied) and self.right.evaluate(satisfied)
+
+    def validators(self) -> Set[str]:
+        return self.left.validators() | self.right.validators()
+
+    def minimal_sets(self) -> list:
+        out = []
+        for a in self.left.minimal_sets():
+            for b in self.right.minimal_sets():
+                candidate = a | b
+                if candidate not in out:
+                    out.append(candidate)
+        return _prune(out)
+
+    def __str__(self) -> str:
+        return f"({self.left} & {self.right})"
+
+
+class Or(Formula):
+    def __init__(self, left: Formula, right: Formula):
+        self.left, self.right = left, right
+
+    def evaluate(self, satisfied: Set[str]) -> bool:
+        return self.left.evaluate(satisfied) or self.right.evaluate(satisfied)
+
+    def validators(self) -> Set[str]:
+        return self.left.validators() | self.right.validators()
+
+    def minimal_sets(self) -> list:
+        return _prune(self.left.minimal_sets() + self.right.minimal_sets())
+
+    def __str__(self) -> str:
+        return f"({self.left} | {self.right})"
+
+
+def _prune(sets: list) -> list:
+    """Drop supersets so only minimal satisfying sets remain."""
+    out = []
+    for s in sorted(sets, key=len):
+        if not any(kept <= s for kept in out):
+            out.append(s)
+    return out
+
+
+_TOKEN = re.compile(
+    r"\s*(?:(?P<and>&|∧|\band\b)|(?P<or>\||∨|\bor\b)|(?P<lp>\()|(?P<rp>\))"
+    r"|(?P<ident>[A-Za-z_][\w.-]*))"
+)
+
+
+def parse_formula(text: str) -> Formula:
+    """Parse a validation formula (| binds looser than &)."""
+    tokens = []
+    pos = 0
+    while pos < len(text):
+        m = _TOKEN.match(text, pos)
+        if m is None:
+            if text[pos:].strip():
+                raise FormulaError(f"unexpected character at {pos}: {text[pos:]!r}")
+            break
+        pos = m.end()
+        for kind in ("and", "or", "lp", "rp", "ident"):
+            if m.group(kind):
+                value = m.group(kind)
+                if kind == "ident" and value in ("and", "or"):
+                    kind = value
+                tokens.append((kind, value))
+                break
+    if not tokens:
+        raise FormulaError("empty formula")
+
+    index = [0]
+
+    def peek():
+        return tokens[index[0]] if index[0] < len(tokens) else (None, None)
+
+    def consume(kind):
+        tok = peek()
+        if tok[0] != kind:
+            raise FormulaError(f"expected {kind}, got {tok}")
+        index[0] += 1
+        return tok[1]
+
+    def parse_or() -> Formula:
+        node = parse_and()
+        while peek()[0] == "or":
+            consume("or")
+            node = Or(node, parse_and())
+        return node
+
+    def parse_and() -> Formula:
+        node = parse_atom()
+        while peek()[0] == "and":
+            consume("and")
+            node = And(node, parse_atom())
+        return node
+
+    def parse_atom() -> Formula:
+        kind, value = peek()
+        if kind == "lp":
+            consume("lp")
+            node = parse_or()
+            consume("rp")
+            return node
+        if kind == "ident":
+            consume("ident")
+            return Var(value)
+        raise FormulaError(f"unexpected token {value!r}")
+
+    node = parse_or()
+    if index[0] != len(tokens):
+        raise FormulaError(f"trailing tokens: {tokens[index[0]:]}")
+    return node

@@ -1,0 +1,222 @@
+"""A History Tree: the Appendix-B.1 alternative STR log.
+
+"Other solutions with various advantages and inconveniences are possible
+too, such as a History Tree [17] or append-only authenticated
+dictionaries" — this implements the Crosby–Wallach history tree: an
+append-only Merkle tree over the sequence of STRs whose *version-n root*
+commits to the first n entries, with
+
+* **membership proofs** — entry i is in version n, O(log n) hashes;
+* **incremental (consistency) proofs** — version n extends version m
+  without rewriting history, O(log n) hashes.
+
+Compared with the hashchain of :mod:`repro.secure.str_log` (O(1) append,
+O(n) audit), the history tree gives logarithmic audits — the trade-off the
+appendix alludes to.
+
+The incremental proof is the subtree-decomposition construction: the
+prover ships the maximal perfect-subtree hashes covering ``[0, m)`` and
+``[m, n)``; the verifier recombines the first set into the old root and
+the union into the new root.  Any rewrite of an old entry changes an old
+subtree hash and breaks the first recombination.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Optional
+
+
+def _leaf_hash(payload: bytes) -> bytes:
+    return hashlib.sha256(b"\x00" + payload).digest()
+
+
+def _node_hash(left: bytes, right: bytes) -> bytes:
+    return hashlib.sha256(b"\x01" + left + right).digest()
+
+
+def _split_point(count: int) -> int:
+    """Largest power of two strictly below count (count >= 2)."""
+    split = 1
+    while split * 2 < count:
+        split *= 2
+    return split
+
+
+@dataclass
+class MembershipProof:
+    index: int
+    version: int
+    #: (sibling_hash, sibling_is_left) from the leaf upward.
+    path: list
+
+    def size_bytes(self) -> int:
+        return 32 * len(self.path) + 16
+
+
+@dataclass
+class IncrementalProof:
+    old_version: int
+    new_version: int
+    #: (start, stop, hash) of maximal perfect subtrees covering [0, old).
+    old_subtrees: list
+    #: Same, covering [old, new).
+    added_subtrees: list
+
+    def size_bytes(self) -> int:
+        return 32 * (len(self.old_subtrees) + len(self.added_subtrees)) + 16
+
+
+def combine_spans(spans: list) -> Optional[bytes]:
+    """Recombine contiguous (start, stop, hash) spans into a root.
+
+    The spans must tile [first.start, last.stop); combination follows the
+    history tree's split rule, so any tampered span hash (or wrong
+    geometry) yields a different root / None."""
+    if not spans:
+        return None
+
+    def rec(lo: int, hi: int) -> Optional[bytes]:
+        if hi - lo == 1:
+            start, stop, value = spans[lo]
+            return value
+        total = spans[hi - 1][1] - spans[lo][0]
+        target = spans[lo][0] + _split_point(total)
+        for cut in range(lo + 1, hi):
+            if spans[cut][0] == target:
+                left = rec(lo, cut)
+                right = rec(cut, hi)
+                if left is None or right is None:
+                    return None
+                return _node_hash(left, right)
+        return None
+
+    # Contiguity check.
+    for (s1, e1, _h1), (s2, e2, _h2) in zip(spans, spans[1:]):
+        if e1 != s2:
+            return None
+    return rec(0, len(spans))
+
+
+class HistoryTree:
+    """Append-only Merkle tree over a growing log of byte entries."""
+
+    def __init__(self) -> None:
+        self._leaves: list[bytes] = []
+        self._payloads: list[bytes] = []
+
+    def append(self, payload: bytes) -> int:
+        """Append an entry; returns its index."""
+        self._payloads.append(payload)
+        self._leaves.append(_leaf_hash(payload))
+        return len(self._leaves) - 1
+
+    def __len__(self) -> int:
+        return len(self._leaves)
+
+    def entry(self, index: int) -> bytes:
+        return self._payloads[index]
+
+    # --- roots ------------------------------------------------------------
+
+    def _root_range(self, start: int, stop: int) -> bytes:
+        if stop - start == 1:
+            return self._leaves[start]
+        mid = start + _split_point(stop - start)
+        return _node_hash(self._root_range(start, mid),
+                          self._root_range(mid, stop))
+
+    def root(self, version: Optional[int] = None) -> bytes:
+        """Root of the first ``version`` entries (default: all)."""
+        version = len(self._leaves) if version is None else version
+        if not 1 <= version <= len(self._leaves):
+            raise ValueError(f"bad version {version}")
+        return self._root_range(0, version)
+
+    # --- membership -------------------------------------------------------
+
+    def prove_membership(self, index: int,
+                         version: Optional[int] = None) -> MembershipProof:
+        version = len(self._leaves) if version is None else version
+        if not 0 <= index < version <= len(self._leaves):
+            raise ValueError("index outside version")
+        path: list = []
+
+        def walk(start: int, stop: int) -> None:
+            if stop - start == 1:
+                return
+            mid = start + _split_point(stop - start)
+            if index < mid:
+                walk(start, mid)
+                path.append((self._root_range(mid, stop), False))
+            else:
+                walk(mid, stop)
+                path.append((self._root_range(start, mid), True))
+
+        walk(0, version)
+        return MembershipProof(index=index, version=version, path=path)
+
+    @staticmethod
+    def verify_membership(root: bytes, payload: bytes,
+                          proof: MembershipProof) -> bool:
+        value = _leaf_hash(payload)
+        for sibling, sibling_is_left in proof.path:
+            if sibling_is_left:
+                value = _node_hash(sibling, value)
+            else:
+                value = _node_hash(value, sibling)
+        return value == root
+
+    # --- incremental consistency -------------------------------------------
+
+    def prove_incremental(self, old_version: int,
+                          new_version: Optional[int] = None) -> IncrementalProof:
+        new_version = len(self._leaves) if new_version is None else new_version
+        if not 1 <= old_version <= new_version <= len(self._leaves):
+            raise ValueError("bad version pair")
+        old_spans = _decompose(0, old_version, self._root_range)
+        added = _decompose(old_version, new_version, self._root_range)
+        return IncrementalProof(
+            old_version=old_version,
+            new_version=new_version,
+            old_subtrees=old_spans,
+            added_subtrees=added,
+        )
+
+    @staticmethod
+    def verify_incremental(old_root: bytes, new_root: bytes,
+                           proof: IncrementalProof) -> bool:
+        old = proof.old_subtrees
+        if not old or old[0][0] != 0 or old[-1][1] != proof.old_version:
+            return False
+        if combine_spans(old) != old_root:
+            return False
+        everything = old + proof.added_subtrees
+        if proof.added_subtrees:
+            if proof.added_subtrees[-1][1] != proof.new_version:
+                return False
+        elif proof.old_version != proof.new_version:
+            return False
+        return combine_spans(everything) == new_root
+
+
+def _decompose(start: int, stop: int, root_range) -> list:
+    """Tile [start, stop) with spans combinable by the split rule.
+
+    Greedy: repeatedly take the largest block that (a) is aligned to the
+    split structure and (b) fits.  For the history-tree split rule
+    (largest power of two strictly below the count), tiling with maximal
+    aligned power-of-two blocks recombines correctly."""
+    out = []
+    cursor = start
+    while cursor < stop:
+        size = 1
+        while (
+            cursor % (size * 2) == 0
+            and cursor + size * 2 <= stop
+        ):
+            size *= 2
+        out.append((cursor, cursor + size, root_range(cursor, cursor + size)))
+        cursor += size
+    return out

@@ -1,0 +1,183 @@
+"""Plugin Validators (PVs) and their Signed Tree Roots (§3).
+
+A PV validates plugins (by whatever means it has — §5: manual inspection,
+fuzzing, formal methods; here: bytecode verification plus an optional
+termination check), builds one Merkle Prefix Tree per epoch containing the
+plugins it vouches for, signs the root (STR) and serves lookups.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.core.plugin import Plugin
+
+from .merkle import (
+    AbsenceProof,
+    AuthenticationPath,
+    MerklePrefixTree,
+    binding_bytes,
+)
+from .signing import KeyPair, verify_signature
+
+
+@dataclass(frozen=True)
+class SignedTreeRoot:
+    """An STR: the tamper-resistant commitment of one PV at one epoch."""
+
+    validator_id: str
+    epoch: int
+    root: bytes
+    signature: bytes
+
+    def payload(self) -> bytes:
+        return (
+            self.validator_id.encode("utf-8")
+            + self.epoch.to_bytes(8, "big")
+            + self.root
+        )
+
+    def verify(self, public_key: bytes) -> bool:
+        return verify_signature(public_key, self.payload(), self.signature)
+
+
+def default_validation(name: str, code: bytes) -> Optional[str]:
+    """Built-in validation: the plugin must deserialize, carry the claimed
+    name and pass static verification.  Returns a failure reason or None."""
+    try:
+        plugin = Plugin.deserialize(code)
+    except Exception as exc:
+        return f"undecodable plugin: {exc}"
+    if plugin.name != name:
+        return "plugin name does not match binding name"
+    try:
+        plugin.verify_all()
+    except Exception as exc:
+        return f"verification failed: {exc}"
+    return None
+
+
+def termination_validation(name: str, code: bytes) -> Optional[str]:
+    """A stricter §5 validator: static checks *plus* a termination proof
+    for every pluglet ("A very important property for any code is its
+    (correct) termination").  PVs differ in capability — this is the
+    formal-methods profile, ``default_validation`` the basic one."""
+    reason = default_validation(name, code)
+    if reason is not None:
+        return reason
+    from repro.termination import check_termination
+
+    plugin = Plugin.deserialize(code)
+    for pluglet in plugin.pluglets:
+        report = check_termination(pluglet.instructions)
+        if not report.proven:
+            return (
+                f"pluglet {pluglet.name!r}: termination not proven "
+                f"({report.reason})"
+            )
+    return None
+
+
+class PluginValidator:
+    """One PV: validates, commits, signs, serves proofs."""
+
+    def __init__(
+        self,
+        validator_id: str,
+        seed: Optional[int] = None,
+        validate_fn: Optional[Callable] = None,
+        tree_depth: int = 16,
+    ):
+        self.validator_id = validator_id
+        self.keys = KeyPair.generate(seed)
+        self.validate_fn = validate_fn or default_validation
+        self.tree_depth = tree_depth
+        self.epoch = -1
+        self.tree = MerklePrefixTree(tree_depth)
+        self.current_str: Optional[SignedTreeRoot] = None
+        #: Failure causes communicated to the PR (§3.1).
+        self.failures: dict[str, str] = {}
+
+    @property
+    def public_key(self) -> bytes:
+        return self.keys.public
+
+    # ------------------------------------------------------------------
+
+    def run_epoch(self, plugins: dict, epoch: int) -> SignedTreeRoot:
+        """Validate ``{name: serialized_plugin}`` and sign the new tree.
+
+        A PV builds at most one tree per epoch (§3.1)."""
+        if epoch <= self.epoch:
+            raise ValueError(
+                f"PV {self.validator_id} already signed epoch {self.epoch}"
+            )
+        tree = MerklePrefixTree(self.tree_depth)
+        failures: dict[str, str] = {}
+        for name, code in sorted(plugins.items()):
+            reason = self.validate_fn(name, code)
+            if reason is None:
+                tree.insert(name, code)
+            else:
+                failures[name] = reason
+        self.tree = tree
+        self.failures = failures
+        self.epoch = epoch
+        self.current_str = self._sign_root(tree.root(), epoch)
+        return self.current_str
+
+    def _sign_root(self, root: bytes, epoch: int) -> SignedTreeRoot:
+        unsigned = SignedTreeRoot(self.validator_id, epoch, root, b"")
+        return SignedTreeRoot(
+            self.validator_id, epoch, root, self.keys.sign(unsigned.payload())
+        )
+
+    # ------------------------------------------------------------------
+
+    def lookup(self, name: str) -> AuthenticationPath:
+        """PQUIC user lookup: the authentication path (co-located bindings
+        as hashes only, for bandwidth — §B.2.1)."""
+        return self.tree.prove(name)
+
+    def developer_lookup(self, name: str):
+        """Developer lookup: path plus clear-text co-located bindings."""
+        return self.tree.developer_lookup(name)
+
+    def lookup_absence(self, name: str) -> AbsenceProof:
+        return self.tree.prove_absence(name)
+
+    def validated(self, name: str) -> bool:
+        return name in self.tree
+
+
+class EquivocatingValidator(PluginValidator):
+    """A malicious PV maintaining a second, doctored tree (App. B.2.3).
+
+    It shows the honest tree to developers and the doctored one (with a
+    spurious binding) to targeted PQUIC users.  Building two trees that
+    hash to the same root is computationally infeasible, so the two STRs
+    differ — which is exactly what the non-equivocation audit catches.
+    """
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.shadow_tree: Optional[MerklePrefixTree] = None
+        self.shadow_str: Optional[SignedTreeRoot] = None
+
+    def inject_spurious(self, name: str, malicious_code: bytes) -> None:
+        """Create the doctored tree containing a spurious binding."""
+        shadow = MerklePrefixTree(self.tree_depth)
+        for entries in self.tree._leaves.values():
+            for entry_name, _h, binding in entries:
+                sep = binding.index(b"\x00")
+                shadow.insert(entry_name, binding[sep + 1:])
+        shadow.insert(name, malicious_code)
+        self.shadow_tree = shadow
+        self.shadow_str = self._sign_root(shadow.root(), self.epoch)
+
+    def lookup_for_victim(self, name: str):
+        """What the PV serves the targeted user: a *valid* proof against
+        the shadow STR."""
+        assert self.shadow_tree is not None
+        return self.shadow_tree.prove(name), self.shadow_str

@@ -1,0 +1,12 @@
+"""Termination checking of pluglet bytecode (the paper's T2 validation)."""
+
+from .cfg import BasicBlock, ControlFlowGraph
+from .checker import LoopReport, TerminationReport, check_termination
+
+__all__ = [
+    "BasicBlock",
+    "ControlFlowGraph",
+    "LoopReport",
+    "TerminationReport",
+    "check_termination",
+]

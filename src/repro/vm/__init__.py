@@ -1,0 +1,47 @@
+"""The Pluglet Runtime Environment: ISA, verifier, interpreter, compiler."""
+
+from .asm import AssemblyError, assemble, disassemble
+from .compiler import CompileError, PlugletCompiler, compile_pluglet
+from .interpreter import (
+    HEAP_BASE,
+    STACK_BASE,
+    ExecutionError,
+    MemoryViolation,
+    PluginMemory,
+    VirtualMachine,
+    VmError,
+)
+from .isa import (
+    INSTRUCTION_SIZE,
+    STACK_SIZE,
+    Instruction,
+    Op,
+    decode_program,
+    encode_program,
+)
+from .verifier import VerificationError, verify, verify_bytecode
+
+__all__ = [
+    "AssemblyError",
+    "CompileError",
+    "ExecutionError",
+    "HEAP_BASE",
+    "INSTRUCTION_SIZE",
+    "Instruction",
+    "MemoryViolation",
+    "Op",
+    "PluginMemory",
+    "PlugletCompiler",
+    "STACK_BASE",
+    "STACK_SIZE",
+    "VerificationError",
+    "VirtualMachine",
+    "VmError",
+    "assemble",
+    "compile_pluglet",
+    "decode_program",
+    "disassemble",
+    "encode_program",
+    "verify",
+    "verify_bytecode",
+]

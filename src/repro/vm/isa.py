@@ -1,0 +1,169 @@
+"""Instruction set of the Pluglet Runtime Environment (PRE).
+
+The paper's PRE is a user-space eBPF VM (§2.1).  This module defines an
+eBPF-style ISA: eleven 64-bit registers ``r0``–``r10`` (``r0`` return
+value, ``r1``–``r5`` arguments/scratch, ``r6``–``r9`` callee-saved
+scratch, ``r10`` read-only frame pointer), a 512-byte stack, two-operand
+ALU ops, conditional jumps, byte/half/word/dword loads and stores, helper
+calls and ``exit``.
+
+Like the paper's monitor, the interpreter owns one extra register that
+bytecode cannot name (the bounds register used for memory monitoring) —
+see :mod:`repro.vm.interpreter`.
+
+Instructions serialize to a fixed 16-byte wire format so plugins can be
+hashed, exchanged and measured.
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from dataclasses import dataclass
+from typing import Iterable
+
+NUM_REGISTERS = 11
+FP_REGISTER = 10  # read-only frame pointer
+STACK_SIZE = 512
+WORD_MASK = (1 << 64) - 1
+
+
+class Op(enum.IntEnum):
+    """Opcodes. ALU ops ending in _IMM take an immediate source."""
+
+    # ALU (register, register)
+    ADD = 0x01
+    SUB = 0x02
+    MUL = 0x03
+    DIV = 0x04
+    MOD = 0x05
+    AND = 0x06
+    OR = 0x07
+    XOR = 0x08
+    LSH = 0x09
+    RSH = 0x0A
+    ARSH = 0x0B
+    MOV = 0x0C
+    NEG = 0x0D
+    # ALU (register, immediate)
+    ADD_IMM = 0x11
+    SUB_IMM = 0x12
+    MUL_IMM = 0x13
+    DIV_IMM = 0x14
+    MOD_IMM = 0x15
+    AND_IMM = 0x16
+    OR_IMM = 0x17
+    XOR_IMM = 0x18
+    LSH_IMM = 0x19
+    RSH_IMM = 0x1A
+    ARSH_IMM = 0x1B
+    MOV_IMM = 0x1C
+    # Jumps: target = pc + 1 + offset
+    JA = 0x20
+    JEQ = 0x21
+    JNE = 0x22
+    JGT = 0x23
+    JGE = 0x24
+    JLT = 0x25
+    JLE = 0x26
+    JSGT = 0x27
+    JSLT = 0x28
+    JSET = 0x29
+    JEQ_IMM = 0x31
+    JNE_IMM = 0x32
+    JGT_IMM = 0x33
+    JGE_IMM = 0x34
+    JLT_IMM = 0x35
+    JLE_IMM = 0x36
+    JSGT_IMM = 0x37
+    JSLT_IMM = 0x38
+    JSET_IMM = 0x39
+    # Memory: LDX dst = *(size*)(src + offset); STX *(size*)(dst + offset) = src
+    LDXB = 0x40
+    LDXH = 0x41
+    LDXW = 0x42
+    LDXDW = 0x43
+    STXB = 0x44
+    STXH = 0x45
+    STXW = 0x46
+    STXDW = 0x47
+    STB = 0x48   # store immediate
+    STH = 0x49
+    STW = 0x4A
+    STDW = 0x4B
+    # Control
+    CALL = 0x50  # imm = helper id
+    EXIT = 0x51
+    LDDW = 0x52  # dst = 64-bit immediate
+
+
+ALU_REG_OPS = {Op.ADD, Op.SUB, Op.MUL, Op.DIV, Op.MOD, Op.AND, Op.OR,
+               Op.XOR, Op.LSH, Op.RSH, Op.ARSH, Op.MOV}
+ALU_IMM_OPS = {Op.ADD_IMM, Op.SUB_IMM, Op.MUL_IMM, Op.DIV_IMM, Op.MOD_IMM,
+               Op.AND_IMM, Op.OR_IMM, Op.XOR_IMM, Op.LSH_IMM, Op.RSH_IMM,
+               Op.ARSH_IMM, Op.MOV_IMM}
+JMP_REG_OPS = {Op.JEQ, Op.JNE, Op.JGT, Op.JGE, Op.JLT, Op.JLE, Op.JSGT,
+               Op.JSLT, Op.JSET}
+JMP_IMM_OPS = {Op.JEQ_IMM, Op.JNE_IMM, Op.JGT_IMM, Op.JGE_IMM, Op.JLT_IMM,
+               Op.JLE_IMM, Op.JSGT_IMM, Op.JSLT_IMM, Op.JSET_IMM}
+JUMP_OPS = JMP_REG_OPS | JMP_IMM_OPS | {Op.JA}
+LOAD_OPS = {Op.LDXB, Op.LDXH, Op.LDXW, Op.LDXDW}
+STORE_REG_OPS = {Op.STXB, Op.STXH, Op.STXW, Op.STXDW}
+STORE_IMM_OPS = {Op.STB, Op.STH, Op.STW, Op.STDW}
+MEM_OPS = LOAD_OPS | STORE_REG_OPS | STORE_IMM_OPS
+
+MEM_SIZES = {
+    Op.LDXB: 1, Op.LDXH: 2, Op.LDXW: 4, Op.LDXDW: 8,
+    Op.STXB: 1, Op.STXH: 2, Op.STXW: 4, Op.STXDW: 8,
+    Op.STB: 1, Op.STH: 2, Op.STW: 4, Op.STDW: 8,
+}
+
+#: Ops that write their dst register.
+DST_WRITE_OPS = ALU_REG_OPS | ALU_IMM_OPS | {Op.NEG, Op.LDDW} | LOAD_OPS
+
+_STRUCT = struct.Struct("<BBBbiq")  # opcode, dst, src, pad, offset, imm
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One PRE instruction."""
+
+    opcode: Op
+    dst: int = 0
+    src: int = 0
+    offset: int = 0
+    imm: int = 0
+
+    def encode(self) -> bytes:
+        imm = self.imm
+        if imm >= 1 << 63:
+            imm -= 1 << 64
+        return _STRUCT.pack(int(self.opcode), self.dst, self.src, 0,
+                            self.offset, imm)
+
+    @classmethod
+    def decode(cls, data: bytes) -> "Instruction":
+        opcode, dst, src, _pad, offset, imm = _STRUCT.unpack(data)
+        return cls(Op(opcode), dst, src, offset, imm)
+
+    def __repr__(self) -> str:
+        return (f"Instruction({self.opcode.name}, dst={self.dst}, "
+                f"src={self.src}, off={self.offset}, imm={self.imm})")
+
+
+def encode_program(instructions: Iterable[Instruction]) -> bytes:
+    """Serialize a program to bytecode."""
+    return b"".join(ins.encode() for ins in instructions)
+
+
+def decode_program(bytecode: bytes) -> list:
+    """Parse bytecode back to instructions; raises on malformed input."""
+    if len(bytecode) % _STRUCT.size:
+        raise ValueError("bytecode length not a multiple of instruction size")
+    return [
+        Instruction.decode(bytecode[i:i + _STRUCT.size])
+        for i in range(0, len(bytecode), _STRUCT.size)
+    ]
+
+
+INSTRUCTION_SIZE = _STRUCT.size

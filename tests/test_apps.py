@@ -1,0 +1,136 @@
+"""VPN tunnel and bulk-transfer application tests."""
+
+import pytest
+
+from repro.apps.transfer import BulkClient, BulkServer
+from repro.apps.vpn import VpnTunnel
+from repro.core import PluginInstance
+from repro.netsim import Simulator, symmetric_topology
+from repro.plugins.datagram import build_datagram_plugin
+from repro.quic import ClientEndpoint, ServerEndpoint
+
+
+def setup_tunnel(loss=0, seed=1):
+    sim = Simulator()
+    topo = symmetric_topology(sim, d_ms=10, bw_mbps=20, loss_pct=loss,
+                              seed=seed)
+    server = ServerEndpoint(sim, topo.server, "server.0", 443)
+    client = ClientEndpoint(sim, topo.client, "client.0", 5000, "server.0", 443)
+    PluginInstance(build_datagram_plugin(), client.conn).attach()
+    tunnels = {}
+
+    def on_conn(conn):
+        PluginInstance(build_datagram_plugin(), conn).attach()
+        tunnels["server"] = VpnTunnel(
+            conn, server._by_cid[conn.local_cid].pump)
+
+    server.on_connection = on_conn
+    client.connect()
+    assert sim.run_until(
+        lambda: client.conn.is_established and "server" in tunnels, timeout=5)
+    tunnels["client"] = VpnTunnel(client.conn, client.pump)
+    return sim, tunnels, client
+
+
+class TestVpnTunnel:
+    def test_packet_roundtrip(self):
+        sim, tunnels, client = setup_tunnel()
+        got = []
+        tunnels["server"].bind(1, got.append)
+        assert tunnels["client"].send(1, b"inner ip packet")
+        sim.run(until=sim.now + 0.5)
+        assert got == [b"inner ip packet"]
+
+    def test_flow_demultiplexing(self):
+        sim, tunnels, client = setup_tunnel()
+        flows = {1: [], 2: []}
+        tunnels["server"].bind(1, flows[1].append)
+        tunnels["server"].bind(2, flows[2].append)
+        tunnels["client"].send(1, b"one")
+        tunnels["client"].send(2, b"two")
+        sim.run(until=sim.now + 0.5)
+        assert flows[1] == [b"one"]
+        assert flows[2] == [b"two"]
+
+    def test_mtu_enforced(self):
+        sim, tunnels, client = setup_tunnel()
+        tunnel = tunnels["client"]
+        assert not tunnel.send(1, b"z" * (tunnel.mtu + 1))
+        assert tunnel.dropped_mtu == 1
+
+    def test_mtu_clamped_to_datagram_limit(self):
+        sim, tunnels, client = setup_tunnel()
+        from repro.plugins.datagram import DatagramSocket
+
+        sock_limit = DatagramSocket(client.conn).max_size()
+        assert tunnels["client"].mtu <= sock_limit - 1
+
+    def test_queue_cap_drops(self):
+        sim, tunnels, client = setup_tunnel()
+        tunnel = tunnels["client"]
+        accepted = sum(
+            1 for _ in range(300) if tunnel.send(1, b"q" * 1000)
+        )
+        assert tunnel.dropped_queue > 0
+        assert accepted < 300
+
+    def test_unbound_flow_dropped_silently(self):
+        sim, tunnels, client = setup_tunnel()
+        tunnels["client"].send(7, b"nobody listens")
+        sim.run(until=sim.now + 0.5)
+        assert tunnels["server"].packets_in == 1  # counted, not delivered
+
+    def test_losses_reach_inner_traffic(self):
+        """The tunnel is unreliable: inner packets vanish on loss, which
+        is exactly what lets inner TCP do its own congestion control."""
+        sim, tunnels, client = setup_tunnel(loss=15, seed=9)
+        got = []
+        tunnels["server"].bind(1, got.append)
+        for i in range(80):
+            tunnels["client"].send(1, b"p%02d" % i)
+            client.pump()
+        sim.run(until=sim.now + 5)
+        assert 0 < len(got) < 80
+
+
+class TestBulkTransfer:
+    def test_get_request_response(self):
+        sim = Simulator()
+        topo = symmetric_topology(sim, d_ms=10, bw_mbps=20)
+        bulk_server = BulkServer()
+        server = ServerEndpoint(sim, topo.server, "server.0", 443)
+
+        def on_conn(conn):
+            bulk_server.attach(conn, server._by_cid[conn.local_cid].pump)
+
+        server.on_connection = on_conn
+        client = ClientEndpoint(sim, topo.client, "client.0", 5000,
+                                "server.0", 443)
+        bulk = BulkClient(client.conn, client.pump)
+        client.connect()
+        assert sim.run_until(lambda: client.conn.is_established, timeout=5)
+        bulk.request(40_000, now=sim.now)
+        assert sim.run_until(lambda: bulk.completed, timeout=30)
+        assert bulk.received == 40_000
+        assert bulk.dct > 0
+        assert bulk_server.requests == 1
+
+    def test_sequential_requests(self):
+        sim = Simulator()
+        topo = symmetric_topology(sim, d_ms=10, bw_mbps=20)
+        bulk_server = BulkServer()
+        server = ServerEndpoint(sim, topo.server, "server.0", 443)
+        server.on_connection = lambda conn: bulk_server.attach(
+            conn, server._by_cid[conn.local_cid].pump)
+        client = ClientEndpoint(sim, topo.client, "client.0", 5000,
+                                "server.0", 443)
+        bulk = BulkClient(client.conn, client.pump)
+        client.connect()
+        assert sim.run_until(lambda: client.conn.is_established, timeout=5)
+        dcts = []
+        for size in (5_000, 20_000):
+            bulk.request(size, now=sim.now)
+            assert sim.run_until(lambda: bulk.completed, timeout=30)
+            dcts.append(bulk.dct)
+        assert bulk_server.requests == 2
+        assert all(d > 0 for d in dcts)

@@ -1,0 +1,59 @@
+"""CLI smoke tests (``python -m repro``)."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    out = capsys.readouterr().out
+    return code, out
+
+
+def test_protoops_lists_registry(capsys):
+    code, out = run_cli(capsys, "protoops")
+    assert code == 0
+    assert "72 protocol operations" in out
+    assert "process_frame" in out
+
+
+def test_inspect_plugin(capsys):
+    code, out = run_cli(capsys, "inspect", "datagram")
+    assert code == 0
+    assert "org.pquic.datagram" in out
+    assert "verification: all pluglets pass" in out
+    assert "NOT PROVEN" not in out
+
+
+def test_transfer_with_plugin(capsys):
+    code, out = run_cli(capsys, "transfer", "--size", "50000",
+                        "--plugins", "monitoring")
+    assert code == 0
+    assert "downloaded 50000 bytes" in out
+    assert "packets_sent" in out
+
+
+def test_vpn_comparison(capsys):
+    code, out = run_cli(capsys, "vpn", "--size", "20000")
+    assert code == 0
+    assert "ratio:" in out
+
+
+def test_trace_outputs_qlog_json(capsys):
+    code, out = run_cli(capsys, "trace", "--size", "5000")
+    assert code == 0
+    doc = json.loads(out)
+    assert doc["traces"][0]["events"]
+
+
+def test_unknown_plugin_rejected():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["transfer", "--plugins", "bogus"])
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["frobnicate"])

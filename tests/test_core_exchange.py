@@ -1,0 +1,325 @@
+"""Plugin exchange over QUIC connections (§3.4, Figure 6)."""
+
+import pytest
+
+from repro.core import Plugin, PluginCache, Pluglet
+from repro.core.exchange import (
+    PluginExchanger,
+    PluginFrame,
+    PluginProofFrame,
+    PluginValidateFrame,
+    ProofEntry,
+    TrustStore,
+    make_proof_provider,
+)
+from repro.netsim import Simulator, symmetric_topology
+from repro.quic import ClientEndpoint, QuicConfiguration, ServerEndpoint
+from repro.quic.wire import Buffer
+from repro.secure import EquivocatingValidator, PluginRepository, PluginValidator
+from repro.vm import assemble
+
+
+def make_plugin(name="org.x.exch"):
+    return Plugin(name, [
+        Pluglet("nop", "packet_sent_event", "post", assemble("exit")),
+    ])
+
+
+def build_world(n_validators=3, plugin=None):
+    plugin = plugin or make_plugin()
+    repo = PluginRepository()
+    validators = {}
+    for i in range(1, n_validators + 1):
+        pv = PluginValidator(f"PV{i}", seed=i)
+        repo.register_validator(pv)
+        validators[pv.validator_id] = pv
+    repo.publish("dev", plugin.name, plugin.serialize())
+    repo.advance_epoch()
+    trust = TrustStore()
+    for pv in validators.values():
+        trust.trust_validator(pv.validator_id, pv.public_key)
+        trust.cache_str(repo.get_str(pv.validator_id))
+    return plugin, repo, validators, trust
+
+
+def connect_with_exchange(plugin, repo, validators, trust, formula,
+                          client_has_plugin=False):
+    sim = Simulator()
+    topo = symmetric_topology(sim, d_ms=10, bw_mbps=20)
+    client_cache = PluginCache()
+    if client_has_plugin:
+        client_cache.store(plugin)
+    server_cache = PluginCache()
+    server_cache.store(plugin)
+    provider = make_proof_provider(repo, validators)
+    server = ServerEndpoint(
+        sim, topo.server, "server.0", 443,
+        configuration_factory=lambda: QuicConfiguration(
+            is_client=False, plugins_to_inject=[plugin.name]),
+    )
+    server.on_connection = lambda conn: PluginExchanger(
+        conn, server_cache, proof_provider=provider)
+    client = ClientEndpoint(sim, topo.client, "client.0", 5000, "server.0", 443)
+    exchanger = PluginExchanger(client.conn, client_cache, trust=trust,
+                                formula=formula)
+    client.connect()
+    sim.run_until(lambda: client.conn.is_established, timeout=5)
+    sim.run(until=sim.now + 2.0)
+    return sim, client, exchanger, client_cache
+
+
+class TestFrameCodecs:
+    def test_validate_frame_roundtrip(self):
+        frame = PluginValidateFrame(plugin_name="org.x", formula="PV1 & PV2")
+        buf = Buffer(frame.to_bytes())
+        parsed = PluginValidateFrame.parse(buf, buf.pull_varint())
+        assert parsed.plugin_name == "org.x"
+        assert parsed.formula == "PV1 & PV2"
+
+    def test_plugin_frame_roundtrip(self):
+        frame = PluginFrame(plugin_name="org.x", offset=1000, data=b"chunk")
+        buf = Buffer(frame.to_bytes())
+        parsed = PluginFrame.parse(buf, buf.pull_varint())
+        assert (parsed.plugin_name, parsed.offset, parsed.data) == (
+            "org.x", 1000, b"chunk")
+
+    def test_proof_frame_roundtrip(self):
+        plugin, repo, validators, trust = build_world(1)
+        pv = validators["PV1"]
+        signed = pv.current_str
+        entry = ProofEntry(pv.validator_id, signed.epoch, signed.root,
+                           signed.signature, pv.lookup(plugin.name))
+        frame = PluginProofFrame(plugin_name=plugin.name, total_length=123,
+                                 proof=entry)
+        buf = Buffer(frame.to_bytes())
+        parsed = PluginProofFrame.parse(buf, buf.pull_varint())
+        assert parsed.total_length == 123
+        assert parsed.proof.validator_id == "PV1"
+        assert parsed.proof.str_root == signed.root
+        assert parsed.proof.path.siblings == entry.path.siblings
+
+
+class TestExchange:
+    def test_full_exchange_and_cache(self):
+        plugin, repo, validators, trust = build_world()
+        sim, client, exchanger, cache = connect_with_exchange(
+            plugin, repo, validators, trust, "PV1 & (PV2 | PV3)")
+        assert exchanger.received == [plugin.name]
+        assert cache.has(plugin.name)
+        # Received plugins are NOT activated on this connection (§3.4).
+        assert plugin.name not in client.conn.plugins
+
+    def test_cached_plugin_injected_immediately(self):
+        plugin, repo, validators, trust = build_world()
+        sim, client, exchanger, cache = connect_with_exchange(
+            plugin, repo, validators, trust, "PV1", client_has_plugin=True)
+        assert exchanger.injected == [plugin.name]
+        assert exchanger.received == []
+        assert plugin.name in client.conn.plugins
+
+    def test_unsatisfiable_formula_rejects(self):
+        plugin, repo, validators, trust = build_world(1)
+        sim, client, exchanger, cache = connect_with_exchange(
+            plugin, repo, validators, trust, "PV1 & PV9")
+        assert exchanger.received == []
+        assert not cache.has(plugin.name)
+        assert "unsatisfied" in exchanger.rejected.get(plugin.name, "")
+
+    def test_untrusted_validator_proofs_ignored(self):
+        plugin, repo, validators, trust = build_world(2)
+        empty_trust = TrustStore()  # trusts no one
+        sim, client, exchanger, cache = connect_with_exchange(
+            plugin, repo, validators, empty_trust, "PV1")
+        assert exchanger.received == []
+
+    def test_tampered_plugin_rejected(self):
+        """The binding check: the received code must hash into the PV's
+        tree at the plugin-name leaf."""
+        plugin, repo, validators, trust = build_world(1)
+        # The server serves a DIFFERENT plugin body under the same name.
+        evil = Plugin(plugin.name, [
+            Pluglet("evil", "connection_closing", "post", assemble("exit")),
+        ])
+        sim = Simulator()
+        topo = symmetric_topology(sim, d_ms=10, bw_mbps=20)
+        provider_honest = make_proof_provider(repo, validators)
+
+        def evil_provider(name, formula):
+            result = provider_honest(name, formula)
+            if result is None:
+                return None
+            _compressed, proofs = result
+            return evil.compressed(), proofs
+
+        server_cache = PluginCache()
+        server_cache.store(evil)
+        server = ServerEndpoint(
+            sim, topo.server, "server.0", 443,
+            configuration_factory=lambda: QuicConfiguration(
+                is_client=False, plugins_to_inject=[plugin.name]),
+        )
+        server.on_connection = lambda conn: PluginExchanger(
+            conn, server_cache, proof_provider=evil_provider)
+        client = ClientEndpoint(sim, topo.client, "client.0", 5000,
+                                "server.0", 443)
+        cache = PluginCache()
+        exchanger = PluginExchanger(client.conn, cache, trust=trust,
+                                    formula="PV1")
+        client.connect()
+        sim.run_until(lambda: client.conn.is_established, timeout=5)
+        sim.run(until=sim.now + 2.0)
+        assert exchanger.received == []
+        assert not cache.has(plugin.name)
+
+    def test_equivocating_str_not_accepted(self):
+        """A proof against a shadow STR differs from the cached one."""
+        plugin = make_plugin()
+        repo = PluginRepository()
+        pv = EquivocatingValidator("PV1", seed=1)
+        repo.register_validator(pv)
+        repo.publish("dev", plugin.name, plugin.serialize())
+        repo.advance_epoch()
+        trust = TrustStore()
+        trust.trust_validator("PV1", pv.public_key)
+        trust.cache_str(repo.get_str("PV1"))
+        evil = Plugin(plugin.name, [
+            Pluglet("evil", "connection_closing", "post", assemble("exit"))])
+        pv.inject_spurious(plugin.name, evil.serialize())
+        shadow_path, shadow_str = pv.lookup_for_victim(plugin.name)
+
+        def shadow_provider(name, formula):
+            return evil.compressed(), [ProofEntry(
+                "PV1", shadow_str.epoch, shadow_str.root,
+                shadow_str.signature, shadow_path)]
+
+        sim = Simulator()
+        topo = symmetric_topology(sim, d_ms=10, bw_mbps=20)
+        server_cache = PluginCache()
+        server_cache.store(evil)
+        server = ServerEndpoint(
+            sim, topo.server, "server.0", 443,
+            configuration_factory=lambda: QuicConfiguration(
+                is_client=False, plugins_to_inject=[plugin.name]),
+        )
+        server.on_connection = lambda conn: PluginExchanger(
+            conn, server_cache, proof_provider=shadow_provider)
+        client = ClientEndpoint(sim, topo.client, "client.0", 5000,
+                                "server.0", 443)
+        cache = PluginCache()
+        exchanger = PluginExchanger(client.conn, cache, trust=trust,
+                                    formula="PV1")
+        client.connect()
+        sim.run_until(lambda: client.conn.is_established, timeout=5)
+        sim.run(until=sim.now + 2.0)
+        assert exchanger.received == []
+        assert "equivocation" in exchanger.rejected.get(plugin.name, "")
+
+    def test_exchange_multiplexes_with_data(self):
+        """§3.4: 'data and plugin streams can be concurrently used'."""
+        plugin, repo, validators, trust = build_world()
+        sim = Simulator()
+        topo = symmetric_topology(sim, d_ms=10, bw_mbps=20)
+        server_cache = PluginCache()
+        server_cache.store(plugin)
+        provider = make_proof_provider(repo, validators)
+        received = bytearray()
+        done = [False]
+
+        def on_conn(conn):
+            PluginExchanger(conn, server_cache, proof_provider=provider)
+            conn.on_stream_data = lambda sid, d, fin: (
+                received.extend(d), done.__setitem__(0, fin))
+
+        server = ServerEndpoint(
+            sim, topo.server, "server.0", 443,
+            configuration_factory=lambda: QuicConfiguration(
+                is_client=False, plugins_to_inject=[plugin.name]),
+        )
+        server.on_connection = on_conn
+        client = ClientEndpoint(sim, topo.client, "client.0", 5000,
+                                "server.0", 443)
+        cache = PluginCache()
+        exchanger = PluginExchanger(client.conn, cache, trust=trust,
+                                    formula="PV1")
+        client.connect()
+        assert sim.run_until(lambda: client.conn.is_established, timeout=5)
+        sid = client.conn.create_stream()
+        client.conn.send_stream_data(sid, b"d" * 100_000, fin=True)
+        client.pump()
+        assert sim.run_until(
+            lambda: done[0] and exchanger.received, timeout=60)
+        assert len(received) == 100_000
+
+    def test_reverse_direction_client_provides_plugin(self):
+        """The exchange is symmetric: a client can push a plugin the
+        server is missing (plugins_to_inject in the ClientHello)."""
+        plugin, repo, validators, trust = build_world(1)
+        sim = Simulator()
+        topo = symmetric_topology(sim, d_ms=10, bw_mbps=20)
+        provider = make_proof_provider(repo, validators)
+        server_exchangers = []
+
+        def on_conn(conn):
+            server_exchangers.append(PluginExchanger(
+                conn, PluginCache(), trust=trust, formula="PV1"))
+
+        server = ServerEndpoint(sim, topo.server, "server.0", 443)
+        server.on_connection = on_conn
+        client = ClientEndpoint(
+            sim, topo.client, "client.0", 5000, "server.0", 443,
+            configuration=QuicConfiguration(
+                is_client=True, plugins_to_inject=[plugin.name]),
+        )
+        client_cache = PluginCache()
+        client_cache.store(plugin)
+        PluginExchanger(client.conn, client_cache, proof_provider=provider)
+        client.connect()
+        assert sim.run_until(
+            lambda: server_exchangers and server_exchangers[0].received,
+            timeout=10,
+        )
+        assert server_exchangers[0].cache.has(plugin.name)
+
+    def test_exchange_survives_packet_loss(self):
+        """PLUGIN_VALIDATE/PROOF/PLUGIN frames are retransmittable: the
+        transfer completes across a lossy path."""
+        plugin, repo, validators, trust = build_world(1)
+        sim = Simulator()
+        topo = symmetric_topology(sim, d_ms=10, bw_mbps=20, loss_pct=10,
+                                  seed=13)
+        server_cache = PluginCache()
+        server_cache.store(plugin)
+        provider = make_proof_provider(repo, validators)
+        server = ServerEndpoint(
+            sim, topo.server, "server.0", 443,
+            configuration_factory=lambda: QuicConfiguration(
+                is_client=False, plugins_to_inject=[plugin.name]),
+        )
+        server.on_connection = lambda conn: PluginExchanger(
+            conn, server_cache, proof_provider=provider)
+        client = ClientEndpoint(sim, topo.client, "client.0", 5000,
+                                "server.0", 443)
+        cache = PluginCache()
+        exchanger = PluginExchanger(client.conn, cache, trust=trust,
+                                    formula="PV1")
+        client.connect()
+        assert sim.run_until(lambda: bool(exchanger.received), timeout=60)
+        assert cache.has(plugin.name)
+
+    def test_supported_plugins_advertised(self):
+        plugin, repo, validators, trust = build_world(1)
+        sim = Simulator()
+        topo = symmetric_topology(sim, d_ms=5, bw_mbps=20)
+        cache = PluginCache()
+        cache.store(plugin)
+        server = ServerEndpoint(sim, topo.server, "server.0", 443)
+        sconns = []
+        server.on_connection = sconns.append
+        client = ClientEndpoint(sim, topo.client, "client.0", 5000,
+                                "server.0", 443)
+        PluginExchanger(client.conn, cache, trust=trust)
+        client.connect()
+        assert sim.run_until(lambda: bool(sconns), timeout=5)
+        sim.run(until=sim.now + 0.2)
+        assert sconns[0].peer_transport_parameters.supported_plugins == [
+            plugin.name]

@@ -1,0 +1,130 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.netsim import Simulator
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    fired = []
+    sim.schedule(2.0, fired.append, "b")
+    sim.schedule(1.0, fired.append, "a")
+    sim.schedule(3.0, fired.append, "c")
+    sim.run()
+    assert fired == ["a", "b", "c"]
+    assert sim.now == 3.0
+
+
+def test_simultaneous_events_fire_in_scheduling_order():
+    sim = Simulator()
+    fired = []
+    for name in "abcde":
+        sim.schedule(1.0, fired.append, name)
+    sim.run()
+    assert fired == list("abcde")
+
+
+def test_cancelled_event_does_not_fire():
+    sim = Simulator()
+    fired = []
+    ev = sim.schedule(1.0, fired.append, "x")
+    sim.schedule(2.0, fired.append, "y")
+    ev.cancel()
+    sim.run()
+    assert fired == ["y"]
+
+
+def test_cancel_is_idempotent():
+    sim = Simulator()
+    ev = sim.schedule(1.0, lambda: None)
+    ev.cancel()
+    ev.cancel()
+    sim.run()
+    assert sim.pending() == 0
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.schedule(-0.1, lambda: None)
+
+
+def test_run_until_absolute_time():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, fired.append, "a")
+    sim.schedule(5.0, fired.append, "b")
+    sim.run(until=2.0)
+    assert fired == ["a"]
+    assert sim.now == 2.0
+    sim.run()
+    assert fired == ["a", "b"]
+
+
+def test_events_scheduled_during_run_execute():
+    sim = Simulator()
+    fired = []
+
+    def chain(n):
+        fired.append(n)
+        if n < 3:
+            sim.schedule(1.0, chain, n + 1)
+
+    sim.schedule(0.0, chain, 0)
+    sim.run()
+    assert fired == [0, 1, 2, 3]
+    assert sim.now == 3.0
+
+
+def test_schedule_at_absolute():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    fired = []
+    sim.schedule_at(0.5, fired.append, "late")  # in the past -> now
+    sim.run()
+    assert fired == ["late"]
+    assert sim.now == 1.0
+
+
+def test_run_until_predicate():
+    sim = Simulator()
+    state = {"done": False}
+    sim.schedule(1.0, lambda: state.update(done=True))
+    sim.schedule(10.0, lambda: None)
+    ok = sim.run_until(lambda: state["done"], timeout=100.0)
+    assert ok
+    assert sim.now == 1.0
+    # The 10.0 event is still pending.
+    assert sim.pending() == 1
+
+
+def test_run_until_timeout():
+    sim = Simulator()
+    sim.schedule(50.0, lambda: None)
+    ok = sim.run_until(lambda: False, timeout=10.0)
+    assert not ok
+    assert sim.now == 10.0
+
+
+def test_runaway_guard():
+    sim = Simulator()
+
+    def loop():
+        sim.schedule(0.0, loop)
+
+    sim.schedule(0.0, loop)
+    with pytest.raises(RuntimeError):
+        sim.run(max_events=1000)
+
+
+def test_step_single_event():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, fired.append, 1)
+    sim.schedule(2.0, fired.append, 2)
+    assert sim.step()
+    assert fired == [1]
+    assert sim.step()
+    assert not sim.step()

@@ -1,0 +1,158 @@
+"""Integration tests for hosts, routers and the Figure-7 topology."""
+
+import pytest
+
+from repro.netsim import (
+    Datagram,
+    Host,
+    Link,
+    Router,
+    Simulator,
+    symmetric_topology,
+)
+from repro.netsim.topology import Figure7Topology, PathParams
+
+
+def test_host_bind_and_receive():
+    sim = Simulator()
+    a, b = Host(sim, "a"), Host(sim, "b")
+    link = Link(sim, 0.001, 1e9)
+    a.attach(link, "a.0")
+    b.attach(link, "b.0", far_side=True)
+    got = []
+    b.bind(9, got.append)
+    a.sendto(b"ping", "a.0", 1, "b.0", 9)
+    sim.run()
+    assert len(got) == 1
+    assert got[0].payload == b"ping"
+    assert got[0].src_addr == "a.0"
+    assert b.rx_datagrams == 1
+
+
+def test_unbound_port_counts_unrouted():
+    sim = Simulator()
+    a, b = Host(sim, "a"), Host(sim, "b")
+    link = Link(sim, 0.001, 1e9)
+    a.attach(link, "a.0")
+    b.attach(link, "b.0", far_side=True)
+    a.sendto(b"x", "a.0", 1, "b.0", 1234)
+    sim.run()
+    assert b.unrouted == 1
+    assert b.rx_datagrams == 0
+
+
+def test_double_bind_rejected():
+    sim = Simulator()
+    h = Host(sim, "h")
+    h.bind(1, lambda d: None)
+    with pytest.raises(ValueError):
+        h.bind(1, lambda d: None)
+    h.unbind(1)
+    h.bind(1, lambda d: None)
+
+
+def test_send_from_unknown_interface_rejected():
+    sim = Simulator()
+    h = Host(sim, "h")
+    with pytest.raises(ValueError):
+        h.sendto(b"x", "nope.0", 1, "b.0", 2)
+
+
+def test_router_wildcard_routes():
+    sim = Simulator()
+    r = Router(sim, "r")
+    r._routes = {"client.*": 0, "server.0": 1, "*": 2}
+    assert r._lookup("client.0") == 0
+    assert r._lookup("client.77") == 0
+    assert r._lookup("server.0") == 1
+    assert r._lookup("other.3") == 2
+
+
+def test_figure7_client_to_server_both_paths():
+    sim = Simulator()
+    topo = symmetric_topology(sim, d_ms=10, bw_mbps=10)
+    got = []
+    topo.server.bind(443, got.append)
+    topo.client.sendto(b"via-r1", "client.0", 1, "server.0", 443)
+    topo.client.sendto(b"via-r2", "client.1", 1, "server.0", 443)
+    sim.run()
+    assert sorted(d.payload for d in got) == [b"via-r1", b"via-r2"]
+    assert topo.r1.forwarded == 1
+    assert topo.r2.forwarded == 1
+    assert topo.r3.forwarded == 2
+
+
+def test_figure7_return_path_follows_client_address():
+    sim = Simulator()
+    topo = symmetric_topology(sim, d_ms=5, bw_mbps=10)
+    got_client = []
+    topo.client.bind(1, got_client.append)
+
+    def echo(d):
+        topo.server.sendto(d.payload, "server.0", 443, d.src_addr, d.src_port)
+
+    topo.server.bind(443, echo)
+    topo.client.sendto(b"p1", "client.0", 1, "server.0", 443)
+    topo.client.sendto(b"p2", "client.1", 1, "server.0", 443)
+    sim.run()
+    assert sorted(d.payload for d in got_client) == [b"p1", b"p2"]
+    # Replies to client.0 went via R1 (its forwarded count grows).
+    assert topo.r1.forwarded == 2
+    assert topo.r2.forwarded == 2
+
+
+def test_asymmetric_paths_have_different_rtt():
+    sim = Simulator()
+    topo = Figure7Topology(
+        sim,
+        PathParams.from_paper_units(5, 100),
+        PathParams.from_paper_units(50, 100),
+    )
+    arrivals = {}
+    topo.server.bind(7, lambda d: arrivals.__setitem__(d.src_addr, sim.now))
+    topo.client.sendto(b"a", "client.0", 1, "server.0", 7)
+    topo.client.sendto(b"b", "client.1", 1, "server.0", 7)
+    sim.run()
+    assert arrivals["client.0"] < arrivals["client.1"]
+    assert arrivals["client.1"] - arrivals["client.0"] == pytest.approx(0.045, abs=0.005)
+
+
+def test_lossy_path_reproducible_between_runs():
+    def run(seed):
+        sim = Simulator()
+        topo = symmetric_topology(sim, d_ms=5, bw_mbps=10, loss_pct=20, seed=seed)
+        got = []
+        topo.server.bind(9, got.append)
+        for i in range(100):
+            topo.client.sendto(bytes([i]), "client.0", 1, "server.0", 9)
+        sim.run()
+        return [d.payload for d in got]
+
+    first = run(seed=4)
+    second = run(seed=4)
+    other = run(seed=5)
+    assert first == second
+    assert 30 < len(first) < 100
+    assert first != other
+
+
+def test_paper_units_conversion():
+    p = PathParams.from_paper_units(25, 50, 2.0)
+    assert p.delay == pytest.approx(0.025)
+    assert p.bandwidth == pytest.approx(50e6)
+    assert p.loss == pytest.approx(0.02)
+
+
+def test_hop_limit_discards_looping_packets():
+    sim = Simulator()
+    r1, r2 = Router(sim, "r1"), Router(sim, "r2")
+    link = Link(sim, 0.0001, 1e9)
+    r1.attach(link, "r1.0")
+    r2.attach(link, "r2.0", far_side=True)
+    r1.add_route("*", 0)
+    r2.add_route("*", 0)
+    d = Datagram("x.0", 1, "nowhere.0", 2, b"loop")
+    r1.receive(d, r1.interfaces[0])
+    sim.run()
+    assert d.hops > 0
+    assert r1.unrouted + r2.unrouted == 1

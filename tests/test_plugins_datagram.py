@@ -1,0 +1,149 @@
+"""Datagram plugin tests (§4.2)."""
+
+import struct
+
+import pytest
+
+from repro.core import PluginInstance
+from repro.netsim import Simulator, symmetric_topology
+from repro.plugins.datagram import (
+    OFF_DROPPED_LOST,
+    OFF_RECEIVED,
+    OFF_SENT,
+    DatagramFrame,
+    DatagramSocket,
+    build_datagram_plugin,
+)
+from repro.quic import ClientEndpoint, ServerEndpoint
+from repro.quic.wire import Buffer
+
+
+def setup_pair(loss=0, seed=1, d_ms=10, bw=10):
+    sim = Simulator()
+    topo = symmetric_topology(sim, d_ms=d_ms, bw_mbps=bw, loss_pct=loss, seed=seed)
+    server = ServerEndpoint(sim, topo.server, "server.0", 443)
+    client = ClientEndpoint(sim, topo.client, "client.0", 5000, "server.0", 443)
+    ci = PluginInstance(build_datagram_plugin(), client.conn)
+    ci.attach()
+    state = {}
+
+    def on_conn(conn):
+        state["server_inst"] = PluginInstance(build_datagram_plugin(), conn)
+        state["server_inst"].attach()
+        state["sconn"] = conn
+
+    server.on_connection = on_conn
+    client.connect()
+    assert sim.run_until(
+        lambda: client.conn.is_established and "sconn" in state, timeout=5)
+    return sim, client, server, state, ci
+
+
+def counter(instance, offset):
+    return struct.unpack_from(
+        "<Q", instance.runtime.memory.data,
+        instance.runtime._opaque[2] - 0x2000_0000 + offset,
+    )[0]
+
+
+def test_frame_roundtrip():
+    frame = DatagramFrame(data=b"hello")
+    buf = Buffer(frame.to_bytes())
+    ftype = buf.pull_varint()
+    parsed = DatagramFrame.parse(buf, ftype)
+    assert parsed.data == b"hello"
+
+
+def test_frame_is_unreliable_but_ack_eliciting():
+    frame = DatagramFrame(data=b"x")
+    assert frame.ack_eliciting
+    assert not frame.retransmittable
+
+
+def test_message_delivery_and_boundaries():
+    sim, client, server, state, ci = setup_pair()
+    got = []
+    DatagramSocket(state["sconn"], on_message=got.append)
+    sock = DatagramSocket(client.conn)
+    for message in (b"one", b"two", b"three" * 50):
+        assert sock.send(message) == len(message)
+    client.pump()
+    assert sim.run_until(lambda: len(got) == 3, timeout=5)
+    # Boundaries preserved (message mode, not a byte stream).
+    assert got == [b"one", b"two", b"three" * 50]
+
+
+def test_oversized_message_refused():
+    sim, client, server, state, ci = setup_pair()
+    sock = DatagramSocket(client.conn)
+    limit = sock.max_size()
+    assert sock.send(b"z" * (limit + 1)) == 0
+    assert sock.send(b"z" * limit) == limit
+
+
+def test_empty_message_refused():
+    sim, client, server, state, ci = setup_pair()
+    sock = DatagramSocket(client.conn)
+    assert sock.send(b"") == 0
+
+
+def test_socket_requires_plugin():
+    sim = Simulator()
+    topo = symmetric_topology(sim, d_ms=5, bw_mbps=10)
+    client = ClientEndpoint(sim, topo.client, "client.0", 5000, "server.0", 443)
+    with pytest.raises(RuntimeError):
+        DatagramSocket(client.conn)
+
+
+def test_lost_datagrams_not_retransmitted():
+    """§4.2: no transmission order nor reliable delivery — losses are
+    counted by the notify pluglet and never repaired."""
+    sim, client, server, state, ci = setup_pair(loss=20, seed=6)
+    got = []
+    DatagramSocket(state["sconn"], on_message=got.append)
+    sock = DatagramSocket(client.conn)
+    n = 60
+    for i in range(n):
+        sock.send(b"m%03d" % i)
+        client.pump()
+    sim.run(until=sim.now + 10)
+    delivered = len(got)
+    assert 0 < delivered < n  # some lost
+    sent = counter(ci, OFF_SENT)
+    dropped = counter(ci, OFF_DROPPED_LOST)
+    assert sent == n
+    assert dropped > 0
+    # Total accounted: delivered once each, nothing duplicated.
+    assert len(set(got)) == delivered
+    # And the receiver counted exactly the delivered ones.
+    assert counter(state["server_inst"], OFF_RECEIVED) == delivered
+
+
+def test_stats_counters():
+    sim, client, server, state, ci = setup_pair()
+    sock = DatagramSocket(client.conn)
+    sock.send(b"a")
+    sock.send(b"b")
+    client.pump()
+    sim.run(until=sim.now + 1)
+    assert counter(ci, OFF_SENT) == 2
+    assert counter(state["server_inst"], OFF_RECEIVED) == 2
+
+
+def test_datagrams_multiplex_with_stream_data():
+    """§3.4 spirit: datagram and stream frames share the connection."""
+    sim, client, server, state, ci = setup_pair()
+    got_messages = []
+    got_stream = bytearray()
+    DatagramSocket(state["sconn"], on_message=got_messages.append)
+    state["sconn"].on_stream_data = lambda sid, d, fin: got_stream.extend(d)
+    sock = DatagramSocket(client.conn)
+    sid = client.conn.create_stream()
+    client.conn.send_stream_data(sid, b"s" * 30_000, fin=True)
+    for i in range(10):
+        sock.send(b"dg-%d" % i)
+    client.pump()
+    assert sim.run_until(
+        lambda: len(got_stream) == 30_000 and len(got_messages) == 10,
+        timeout=30,
+    )

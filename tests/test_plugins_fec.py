@@ -1,0 +1,233 @@
+"""FEC plugin tests: GF(256) codes and the framework (§4.4)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import PluginInstance
+from repro.netsim import Simulator, symmetric_topology
+from repro.plugins.fec import (
+    CODES,
+    FecIdFrame,
+    FecRepairFrame,
+    build_fec_plugin,
+    gf_div,
+    gf_inv,
+    gf_mul,
+)
+from repro.quic import ClientEndpoint, ServerEndpoint
+from repro.quic.wire import Buffer
+
+
+class TestGf256:
+    def test_multiplicative_identity(self):
+        for a in (1, 7, 100, 255):
+            assert gf_mul(a, 1) == a
+
+    def test_zero_annihilates(self):
+        assert gf_mul(0, 55) == 0
+        assert gf_mul(55, 0) == 0
+
+    def test_every_nonzero_invertible(self):
+        for a in range(1, 256):
+            assert gf_mul(a, gf_inv(a)) == 1
+
+    def test_zero_has_no_inverse(self):
+        with pytest.raises(ZeroDivisionError):
+            gf_inv(0)
+
+    def test_division(self):
+        assert gf_div(gf_mul(7, 9), 9) == 7
+
+    @given(st.integers(0, 255), st.integers(0, 255), st.integers(0, 255))
+    def test_distributive(self, a, b, c):
+        left = gf_mul(a, b ^ c)
+        right = gf_mul(a, b) ^ gf_mul(a, c)
+        assert left == right
+
+    @given(st.integers(0, 255), st.integers(0, 255))
+    def test_commutative(self, a, b):
+        assert gf_mul(a, b) == gf_mul(b, a)
+
+
+class TestXorCode:
+    def test_single_loss_recovery(self):
+        code = CODES["xor"]
+        window = [b"alpha", b"bravo-longer", b"c"]
+        rs = code.encode(window, 0, seed=1)
+        for lost in range(3):
+            damaged = list(window)
+            damaged[lost] = None
+            assert code.recover(damaged, [(0, rs)], seed=1) == window
+
+    def test_double_loss_unrecoverable(self):
+        code = CODES["xor"]
+        window = [b"a", b"b", b"c"]
+        rs = code.encode(window, 0, seed=1)
+        assert code.recover([None, None, b"c"], [(0, rs)], seed=1) is None
+
+    def test_no_loss_passthrough(self):
+        code = CODES["xor"]
+        window = [b"a", b"b"]
+        assert code.recover(window, [], seed=1) == window
+
+
+class TestRlcCode:
+    def test_multi_loss_recovery(self):
+        code = CODES["rlc"]
+        rng = random.Random(3)
+        window = [bytes(rng.randrange(256) for _ in range(rng.randrange(1, 100)))
+                  for _ in range(12)]
+        repairs = [(i, code.encode(window, i, seed=9)) for i in range(5)]
+        damaged = list(window)
+        for i in (0, 3, 7, 11):
+            damaged[i] = None
+        assert code.recover(damaged, repairs[:4], seed=9) == window
+
+    def test_insufficient_repairs(self):
+        code = CODES["rlc"]
+        window = [b"aa", b"bb", b"cc"]
+        repairs = [(0, code.encode(window, 0, seed=2))]
+        assert code.recover([None, None, b"cc"], repairs, seed=2) is None
+
+    def test_seed_mismatch_fails_or_corrupts_detectably(self):
+        code = CODES["rlc"]
+        window = [b"aaaa", b"bbbb", b"cccc"]
+        repairs = [(i, code.encode(window, i, seed=5)) for i in range(2)]
+        out = code.recover([None, None, b"cccc"], repairs, seed=6)
+        assert out != window  # wrong coefficients cannot reproduce
+
+    @given(st.integers(1, 8), st.integers(0, 1000))
+    @settings(max_examples=30, deadline=None)
+    def test_recover_any_loss_pattern(self, n_lost, seed):
+        code = CODES["rlc"]
+        rng = random.Random(seed)
+        window = [bytes(rng.randrange(256) for _ in range(rng.randrange(1, 60)))
+                  for _ in range(10)]
+        n_lost = min(n_lost, 8)
+        repairs = [(i, code.encode(window, i, seed=seed)) for i in range(n_lost)]
+        damaged = list(window)
+        for i in rng.sample(range(10), n_lost):
+            damaged[i] = None
+        recovered = code.recover(damaged, repairs, seed=seed)
+        # RLC with random coefficients is MDS-like w.h.p.; rank failures
+        # return None rather than corrupt data.
+        assert recovered is None or recovered == window
+
+
+class TestFrames:
+    def test_fec_id_roundtrip(self):
+        frame = FecIdFrame(window_id=3, protected_pns=[10, 11, 13, 20])
+        buf = Buffer(frame.to_bytes())
+        parsed = FecIdFrame.parse(buf, buf.pull_varint())
+        assert parsed.window_id == 3
+        assert parsed.protected_pns == [10, 11, 13, 20]
+
+    def test_repair_roundtrip(self):
+        frame = FecRepairFrame(window_id=1, ecc=1, rs_index=2, seed=42,
+                               total_len=1200, offset=600, payload=b"R" * 600)
+        buf = Buffer(frame.to_bytes())
+        parsed = FecRepairFrame.parse(buf, buf.pull_varint())
+        assert (parsed.window_id, parsed.ecc, parsed.rs_index) == (1, 1, 2)
+        assert (parsed.seed, parsed.total_len, parsed.offset) == (42, 1200, 600)
+        assert parsed.payload == b"R" * 600
+
+    def test_fec_frames_not_retransmittable(self):
+        assert not FecIdFrame().retransmittable
+        assert not FecRepairFrame().retransmittable
+
+
+def run_fec_transfer(size, ecc="rlc", mode="full", loss=4, d=150, bw=2,
+                     seed=11, use_fec=True):
+    sim = Simulator()
+    topo = symmetric_topology(sim, d_ms=d, bw_mbps=bw, loss_pct=loss, seed=seed)
+    server = ServerEndpoint(sim, topo.server, "server.0", 443)
+    client = ClientEndpoint(sim, topo.client, "client.0", 5000, "server.0", 443)
+    instances = []
+    if use_fec:
+        ci = PluginInstance(build_fec_plugin(ecc, mode), client.conn)
+        ci.attach()
+        instances.append(ci)
+    state = {}
+
+    def on_conn(conn):
+        if use_fec:
+            si = PluginInstance(build_fec_plugin(ecc, mode), conn)
+            si.attach()
+            instances.append(si)
+        state["sconn"] = conn
+
+    server.on_connection = on_conn
+    client.connect()
+    done = [False]
+    assert sim.run_until(
+        lambda: client.conn.is_established and "sconn" in state, timeout=10)
+    state["sconn"].on_stream_data = lambda sid, d2, fin: done.__setitem__(0, fin)
+    t0 = sim.now
+    sid = client.conn.create_stream()
+    client.conn.send_stream_data(sid, b"f" * size, fin=True)
+    client.pump()
+    assert sim.run_until(lambda: done[0], timeout=600)
+    return sim.now - t0, instances
+
+
+class TestFramework:
+    def test_transfer_completes_with_fec(self):
+        for ecc in ("xor", "rlc"):
+            for mode in ("full", "eos"):
+                dct, _ = run_fec_transfer(60_000, ecc=ecc, mode=mode)
+                assert dct > 0
+
+    def test_receiver_recovers_lost_packets(self):
+        recovered_any = 0
+        for seed in (11, 12, 13, 14):
+            _, instances = run_fec_transfer(100_000, seed=seed)
+            receiver = instances[-1]
+            recovered_any += receiver.runtime.fec_state.recovered_total
+        assert recovered_any > 0
+
+    def test_recovered_packets_not_retransmitted(self):
+        """A recovered packet is ACKed, so the sender's spurious
+        retransmission is avoided — visible as the receiver processing
+        fewer duplicate packets."""
+        _, instances = run_fec_transfer(100_000, seed=12)
+        receiver = instances[-1]
+        if receiver.runtime.fec_state.recovered_total:
+            sconn = receiver.conn
+            # Recovered pns were marked received.
+            assert sconn.stats["packets_received"] > 0
+
+    def test_no_fec_frames_without_losses_harmless(self):
+        dct, instances = run_fec_transfer(30_000, loss=0)
+        assert instances[-1].runtime.fec_state.recovered_total == 0
+
+    def test_external_recovered_count_op(self):
+        _, instances = run_fec_transfer(100_000, seed=13)
+        receiver = instances[-1]
+        count = receiver.conn.run_external_protoop("fec_recovered_count")
+        assert count == receiver.runtime.fec_state.recovered_total
+
+    def test_eos_sends_fewer_repair_symbols_than_full(self):
+        _, full = run_fec_transfer(150_000, mode="full", loss=0)
+        _, eos = run_fec_transfer(150_000, mode="eos", loss=0)
+        full_windows = full[0].runtime.fec_state.window_counter
+        eos_windows = eos[0].runtime.fec_state.window_counter
+        assert eos_windows < full_windows
+
+    def test_xor_repair_budget_is_one(self):
+        plugin = build_fec_plugin("xor", "full")
+        # attach to a dummy conn to materialize state
+        from repro.quic import QuicConfiguration
+        from repro.quic.connection import QuicConnection
+
+        conn = QuicConnection(QuicConfiguration())
+        inst = PluginInstance(plugin, conn)
+        assert inst.runtime.fec_state.repair == 1
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            build_fec_plugin("reed-solomon", "full")
+        with pytest.raises(ValueError):
+            build_fec_plugin("rlc", "middle")

@@ -1,0 +1,120 @@
+"""NewReno congestion controller tests."""
+
+import pytest
+
+from repro.quic.cc import (
+    DEFAULT_INITIAL_WINDOW,
+    MAX_DATAGRAM_SIZE,
+    MINIMUM_WINDOW,
+    NewRenoController,
+)
+
+
+def test_paper_default_initial_window_is_16kb():
+    # §4.3: "the default one of PQUIC (16 kB)".
+    assert DEFAULT_INITIAL_WINDOW == 16 * 1024
+    assert NewRenoController().cwnd == 16 * 1024
+
+
+def test_custom_initial_window():
+    # Figure 9's mp-quic baseline uses 32 kB.
+    cc = NewRenoController(initial_window=32 * 1024)
+    assert cc.cwnd == 32 * 1024
+
+
+def test_bytes_in_flight_accounting():
+    cc = NewRenoController()
+    cc.on_packet_sent(1200)
+    cc.on_packet_sent(1200)
+    assert cc.bytes_in_flight == 2400
+    assert cc.available_window == cc.cwnd - 2400
+    cc.on_ack(1200, now=1.0, sent_time=0.5)
+    assert cc.bytes_in_flight == 1200
+
+
+def test_slow_start_doubles_per_rtt():
+    cc = NewRenoController()
+    start = cc.cwnd
+    # ACK a full window worth of data in slow start.
+    sent = 0
+    while sent < start:
+        cc.on_packet_sent(1200)
+        sent += 1200
+    acked = 0
+    while acked < start:
+        cc.on_ack(1200, now=1.0, sent_time=0.5)
+        acked += 1200
+    assert cc.cwnd >= 2 * start
+
+
+def test_loss_halves_window_and_sets_ssthresh():
+    cc = NewRenoController()
+    cc.cwnd = 100_000
+    cc.on_packet_sent(1200)
+    cc.on_loss(1200, now=1.0, sent_time=0.5)
+    assert cc.cwnd == 50_000
+    assert cc.ssthresh == 50_000
+    assert not cc.in_slow_start
+
+
+def test_single_reduction_per_loss_epoch():
+    cc = NewRenoController()
+    cc.cwnd = 100_000
+    for _ in range(5):
+        cc.on_packet_sent(1200)
+    cc.on_loss(1200, now=1.0, sent_time=0.5)
+    w = cc.cwnd
+    # Further losses of packets sent before recovery began: no extra cut.
+    cc.on_loss(1200, now=1.1, sent_time=0.6)
+    cc.on_loss(1200, now=1.2, sent_time=0.9)
+    assert cc.cwnd == w
+    # A loss of a packet sent after recovery start cuts again.
+    cc.on_packet_sent(1200)
+    cc.on_loss(1200, now=2.0, sent_time=1.5)
+    assert cc.cwnd == w // 2
+
+
+def test_window_floor():
+    cc = NewRenoController()
+    for i in range(20):
+        cc.on_packet_sent(1200)
+        cc.on_loss(1200, now=float(i), sent_time=float(i) - 0.1)
+    assert cc.cwnd >= MINIMUM_WINDOW
+
+
+def test_congestion_avoidance_linear_growth():
+    cc = NewRenoController()
+    cc.cwnd = 48_000
+    cc.ssthresh = 24_000  # in congestion avoidance
+    before = cc.cwnd
+    cc.on_packet_sent(1200)
+    cc.on_ack(1200, now=1.0, sent_time=0.5)
+    growth = cc.cwnd - before
+    assert 0 < growth <= MAX_DATAGRAM_SIZE
+    assert growth == MAX_DATAGRAM_SIZE * 1200 // before
+
+
+def test_no_growth_for_pre_recovery_acks():
+    cc = NewRenoController()
+    cc.on_packet_sent(1200)
+    cc.on_packet_sent(1200)
+    cc.on_loss(1200, now=1.0, sent_time=0.5)
+    w = cc.cwnd
+    cc.on_ack(1200, now=1.1, sent_time=0.6)  # sent before recovery start
+    assert cc.cwnd == w
+
+
+def test_can_send_respects_window():
+    cc = NewRenoController(initial_window=2400)
+    assert cc.can_send()
+    cc.on_packet_sent(2400)
+    assert not cc.can_send()
+
+
+def test_discard_releases_flight_bytes():
+    cc = NewRenoController()
+    cc.on_packet_sent(500)
+    cc.on_packet_discarded(500)
+    assert cc.bytes_in_flight == 0
+    cc.on_packet_discarded(500)  # never negative
+    assert cc.bytes_in_flight == 0

@@ -1,0 +1,112 @@
+"""Tests for the simulated packet protection and key schedule."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.quic.crypto import (
+    TAG_LENGTH,
+    AeadContext,
+    initial_crypto_pair,
+    one_rtt_crypto_pair,
+    session_secret,
+)
+from repro.quic.errors import CryptoError
+
+KEY = b"k" * 32
+
+
+def test_seal_open_roundtrip():
+    aead = AeadContext(KEY)
+    header, payload = b"hdr", b"payload bytes"
+    wire = aead.seal(7, header, payload)
+    assert len(wire) == len(payload) + TAG_LENGTH
+    assert aead.open(7, header, wire) == payload
+
+
+def test_ciphertext_differs_from_plaintext():
+    aead = AeadContext(KEY)
+    payload = b"secret" * 10
+    wire = aead.seal(0, b"h", payload)
+    assert payload not in wire
+
+
+def test_tampered_payload_rejected():
+    aead = AeadContext(KEY)
+    wire = bytearray(aead.seal(1, b"h", b"data"))
+    wire[0] ^= 0xFF
+    with pytest.raises(CryptoError):
+        aead.open(1, b"h", bytes(wire))
+
+
+def test_tampered_header_rejected():
+    aead = AeadContext(KEY)
+    wire = aead.seal(1, b"header", b"data")
+    with pytest.raises(CryptoError):
+        aead.open(1, b"HEADER", wire)
+
+
+def test_wrong_packet_number_rejected():
+    aead = AeadContext(KEY)
+    wire = aead.seal(1, b"h", b"data")
+    with pytest.raises(CryptoError):
+        aead.open(2, b"h", wire)
+
+
+def test_wrong_key_rejected():
+    wire = AeadContext(KEY).seal(1, b"h", b"data")
+    with pytest.raises(CryptoError):
+        AeadContext(b"x" * 32).open(1, b"h", wire)
+
+
+def test_short_ciphertext_rejected():
+    aead = AeadContext(KEY)
+    with pytest.raises(CryptoError):
+        aead.open(0, b"h", b"short")
+
+
+def test_key_length_validated():
+    with pytest.raises(ValueError):
+        AeadContext(b"short")
+
+
+def test_initial_pairs_are_complementary():
+    dcid = b"\x01" * 8
+    client = initial_crypto_pair(dcid, is_client=True)
+    server = initial_crypto_pair(dcid, is_client=False)
+    wire = client.send.seal(0, b"h", b"client hello")
+    assert server.recv.open(0, b"h", wire) == b"client hello"
+    wire2 = server.send.seal(0, b"h", b"server hello")
+    assert client.recv.open(0, b"h", wire2) == b"server hello"
+
+
+def test_initial_keys_depend_on_dcid():
+    a = initial_crypto_pair(b"\x01" * 8, True)
+    b = initial_crypto_pair(b"\x02" * 8, True)
+    assert a.send.key != b.send.key
+
+
+def test_session_secret_symmetric_given_role_order():
+    cs, ss = b"c" * 32, b"s" * 32
+    assert session_secret(cs, ss) == session_secret(cs, ss)
+    assert session_secret(cs, ss) != session_secret(ss, cs)
+
+
+def test_one_rtt_pairs_complementary():
+    secret = session_secret(b"c" * 32, b"s" * 32)
+    client = one_rtt_crypto_pair(secret, True)
+    server = one_rtt_crypto_pair(secret, False)
+    wire = client.send.seal(42, b"hdr", b"app data")
+    assert server.recv.open(42, b"hdr", wire) == b"app data"
+
+
+def test_one_rtt_keys_differ_per_direction():
+    secret = session_secret(b"c" * 32, b"s" * 32)
+    pair = one_rtt_crypto_pair(secret, True)
+    assert pair.send.key != pair.recv.key
+
+
+@given(st.binary(max_size=2000), st.integers(0, 2**32 - 1))
+def test_roundtrip_property(payload, pn):
+    aead = AeadContext(KEY)
+    assert aead.open(pn, b"h", aead.seal(pn, b"h", payload)) == payload

@@ -1,0 +1,230 @@
+"""RTT estimation, ACK processing and loss detection tests."""
+
+import pytest
+
+from repro.quic.frames import AckFrame
+from repro.quic.recovery import (
+    K_PACKET_THRESHOLD,
+    AckResult,
+    PacketNumberSpace,
+    RttEstimator,
+    SentPacket,
+)
+from repro.quic.wire import RangeSet
+
+
+def sent(pn, t=0.0, size=1200, eliciting=True):
+    return SentPacket(packet_number=pn, sent_time=t, size=size,
+                      ack_eliciting=eliciting, in_flight=eliciting)
+
+
+def ack_of(*pns, delay=0.0):
+    rs = RangeSet()
+    for pn in pns:
+        rs.add(pn)
+    return AckFrame(ranges=rs, ack_delay=delay)
+
+
+class TestRttEstimator:
+    def test_first_sample_initializes(self):
+        rtt = RttEstimator()
+        rtt.update(0.2)
+        assert rtt.smoothed == pytest.approx(0.2)
+        assert rtt.min_rtt == pytest.approx(0.2)
+        assert rtt.variance == pytest.approx(0.1)
+
+    def test_ewma_converges(self):
+        rtt = RttEstimator()
+        for _ in range(100):
+            rtt.update(0.05)
+        assert rtt.smoothed == pytest.approx(0.05, rel=0.01)
+        assert rtt.variance < 0.002
+
+    def test_ack_delay_subtracted_when_above_min(self):
+        rtt = RttEstimator()
+        rtt.update(0.1)
+        rtt.update(0.2, ack_delay=0.05)
+        # adjusted sample is 0.15
+        assert rtt.smoothed == pytest.approx(0.875 * 0.1 + 0.125 * 0.15)
+
+    def test_ack_delay_ignored_when_below_min(self):
+        rtt = RttEstimator()
+        rtt.update(0.1)
+        rtt.update(0.11, ack_delay=0.05)  # 0.06 < min_rtt -> keep raw
+        assert rtt.smoothed == pytest.approx(0.875 * 0.1 + 0.125 * 0.11)
+
+    def test_nonpositive_sample_ignored(self):
+        rtt = RttEstimator()
+        rtt.update(0.1)
+        rtt.update(0.0)
+        assert rtt.samples == 1
+
+    def test_pto_grows_with_variance(self):
+        rtt = RttEstimator()
+        rtt.update(0.1)
+        stable_pto = rtt.pto()
+        rtt.update(0.5)
+        assert rtt.pto() > stable_pto
+
+
+class TestAckProcessing:
+    def test_simple_ack_removes_packets(self):
+        space = PacketNumberSpace()
+        rtt = RttEstimator()
+        for pn in range(3):
+            space.on_packet_sent(sent(pn, t=pn * 0.01))
+        result = space.on_ack_received(ack_of(0, 1, 2), now=0.1, rtt=rtt)
+        assert [p.packet_number for p in result.newly_acked] == [0, 1, 2]
+        assert not space.sent
+        assert space.largest_acked == 2
+
+    def test_rtt_sampled_from_largest(self):
+        space = PacketNumberSpace()
+        rtt = RttEstimator()
+        space.on_packet_sent(sent(0, t=1.0))
+        result = space.on_ack_received(ack_of(0), now=1.25, rtt=rtt)
+        assert result.latest_rtt == pytest.approx(0.25)
+        assert rtt.samples == 1
+
+    def test_no_rtt_sample_when_largest_not_newly_acked(self):
+        space = PacketNumberSpace()
+        rtt = RttEstimator()
+        space.on_packet_sent(sent(0, t=0.0))
+        space.on_ack_received(ack_of(0), now=0.1, rtt=rtt)
+        space.on_packet_sent(sent(1, t=0.2))
+        result = space.on_ack_received(ack_of(0), now=0.3, rtt=rtt)
+        assert result.latest_rtt is None
+
+    def test_packet_threshold_loss(self):
+        space = PacketNumberSpace()
+        rtt = RttEstimator()
+        for pn in range(5):
+            space.on_packet_sent(sent(pn, t=0.0))
+        # ACK only pn 4: 0 and 1 are >= 3 below the largest acked.
+        result = space.on_ack_received(ack_of(4), now=0.01, rtt=rtt)
+        lost_pns = [p.packet_number for p in result.lost]
+        assert lost_pns == [0, 1]
+        assert 2 in space.sent and 3 in space.sent
+
+    def test_time_threshold_loss(self):
+        space = PacketNumberSpace()
+        rtt = RttEstimator()
+        rtt.update(0.1)
+        space.on_packet_sent(sent(0, t=0.0))
+        space.on_packet_sent(sent(1, t=1.0))
+        result = space.on_ack_received(ack_of(1), now=1.05, rtt=rtt)
+        assert [p.packet_number for p in result.lost] == [0]
+
+    def test_loss_time_armed_for_recent_unacked(self):
+        space = PacketNumberSpace()
+        rtt = RttEstimator()
+        rtt.update(0.1)
+        space.on_packet_sent(sent(0, t=1.0))
+        space.on_packet_sent(sent(1, t=1.0))
+        space.on_ack_received(ack_of(1), now=1.02, rtt=rtt)
+        assert space.loss_time is not None
+        expected_delay = 9 / 8 * max(rtt.latest, rtt.smoothed)
+        assert space.loss_time == pytest.approx(1.0 + expected_delay)
+
+    def test_duplicate_ack_is_noop(self):
+        space = PacketNumberSpace()
+        rtt = RttEstimator()
+        space.on_packet_sent(sent(0))
+        space.on_ack_received(ack_of(0), now=0.1, rtt=rtt)
+        result = space.on_ack_received(ack_of(0), now=0.2, rtt=rtt)
+        assert result.newly_acked == []
+
+
+class TestReceiveTracking:
+    def test_record_and_ack_frame(self):
+        space = PacketNumberSpace()
+        assert space.record_received(0, now=1.0, ack_eliciting=True)
+        assert space.record_received(1, now=1.1, ack_eliciting=True)
+        assert space.ack_needed
+        frame = space.ack_frame(now=1.2)
+        assert frame.ranges == RangeSet([range(0, 2)])
+        assert frame.ack_delay == pytest.approx(0.1)
+
+    def test_duplicate_detection(self):
+        space = PacketNumberSpace()
+        assert space.record_received(5, 0.0, True)
+        assert not space.record_received(5, 0.1, True)
+
+    def test_non_eliciting_does_not_set_ack_needed(self):
+        space = PacketNumberSpace()
+        space.record_received(0, 0.0, ack_eliciting=False)
+        assert not space.ack_needed
+
+    def test_ack_frame_empty_space(self):
+        assert PacketNumberSpace().ack_frame(0.0) is None
+
+    def test_ack_frame_caps_ranges(self):
+        space = PacketNumberSpace()
+        for pn in range(0, 200, 2):  # 100 disjoint ranges
+            space.record_received(pn, 0.0, True)
+        frame = space.ack_frame(0.0)
+        assert len(frame.ranges) <= 32
+        assert frame.ranges.largest() == 198
+
+
+class TestLossTimerProgress:
+    def test_loss_time_never_rearms_at_or_before_now(self):
+        """Regression: floating-point error could re-arm loss_time at
+        exactly `now`, spinning the event loop at a single instant."""
+        space = PacketNumberSpace()
+        rtt = RttEstimator()
+        rtt.update(0.1)
+        loss_delay = 9 / 8 * 0.1
+        # A packet whose loss deadline lands exactly on `now`: it must be
+        # declared lost, never deferred to a loss_time equal to `now`.
+        space.on_packet_sent(sent(0, t=1.0))
+        space.largest_acked = 1
+        lost = space.detect_lost(now=1.0 + loss_delay, rtt=rtt)
+        assert [p.packet_number for p in lost] == [0]
+        assert space.loss_time is None
+
+    def test_timer_loop_terminates_under_loss(self):
+        """End-to-end regression for the same bug: a lossy transfer that
+        previously looped forever at one simulated instant."""
+        import time
+
+        from repro.experiments import run_quic_transfer
+
+        t0 = time.time()
+        result = run_quic_transfer(100_000, d_ms=10, bw_mbps=10,
+                                   loss_pct=5, seed=6, timeout=60)
+        assert result.completed
+        assert time.time() - t0 < 30
+
+
+class TestPto:
+    def test_pto_deadline_none_when_nothing_outstanding(self):
+        space = PacketNumberSpace()
+        rtt = RttEstimator()
+        assert space.pto_deadline(rtt, 0) is None
+
+    def test_pto_deadline_set_after_send(self):
+        space = PacketNumberSpace()
+        rtt = RttEstimator()
+        rtt.update(0.1)
+        space.on_packet_sent(sent(0, t=2.0))
+        deadline = space.pto_deadline(rtt, 0)
+        assert deadline == pytest.approx(2.0 + rtt.pto())
+
+    def test_pto_backoff_doubles(self):
+        space = PacketNumberSpace()
+        rtt = RttEstimator()
+        rtt.update(0.1)
+        space.on_packet_sent(sent(0, t=0.0))
+        d0 = space.pto_deadline(rtt, 0)
+        d1 = space.pto_deadline(rtt, 1)
+        assert d1 == pytest.approx(2 * d0)
+
+    def test_on_pto_declares_everything_lost(self):
+        space = PacketNumberSpace()
+        rtt = RttEstimator()
+        for pn in range(3):
+            space.on_packet_sent(sent(pn))
+        lost = space.on_pto(now=10.0, rtt=rtt)
+        assert [p.packet_number for p in lost] == [0, 1, 2]
+        assert not space.sent

@@ -1,0 +1,73 @@
+"""Transport parameter codec tests, including PQUIC's plugin parameters."""
+
+import pytest
+
+from repro.quic.errors import TransportError
+from repro.quic.transport_params import TransportParameters
+
+
+def test_roundtrip_defaults():
+    params = TransportParameters()
+    parsed = TransportParameters.parse(params.serialize())
+    assert parsed.idle_timeout == params.idle_timeout
+    assert parsed.initial_max_data == params.initial_max_data
+    assert parsed.initial_max_stream_data == params.initial_max_stream_data
+    assert parsed.initial_max_streams_bidi == params.initial_max_streams_bidi
+    assert parsed.supported_plugins == []
+    assert parsed.plugins_to_inject == []
+
+
+def test_roundtrip_custom_values():
+    params = TransportParameters(
+        idle_timeout=7.5,
+        max_udp_payload_size=1350,
+        initial_max_data=999_999,
+        initial_max_stream_data=88_888,
+        original_dcid=b"\x01\x02\x03",
+    )
+    parsed = TransportParameters.parse(params.serialize())
+    assert parsed.idle_timeout == pytest.approx(7.5)
+    assert parsed.max_udp_payload_size == 1350
+    assert parsed.initial_max_data == 999_999
+    assert parsed.original_dcid == b"\x01\x02\x03"
+
+
+def test_plugin_parameters_roundtrip():
+    # §3.4: supported_plugins / plugins_to_inject are ordered lists.
+    params = TransportParameters(
+        supported_plugins=["monitoring", "multipath"],
+        plugins_to_inject=["fec", "datagram"],
+    )
+    parsed = TransportParameters.parse(params.serialize())
+    assert parsed.supported_plugins == ["monitoring", "multipath"]
+    assert parsed.plugins_to_inject == ["fec", "datagram"]
+
+
+def test_plugin_list_order_preserved():
+    params = TransportParameters(plugins_to_inject=["c", "a", "b"])
+    parsed = TransportParameters.parse(params.serialize())
+    assert parsed.plugins_to_inject == ["c", "a", "b"]
+
+
+def test_duplicate_parameter_rejected():
+    params = TransportParameters()
+    data = params.serialize()
+    with pytest.raises(TransportError):
+        TransportParameters.parse(data + data)
+
+
+def test_udp_payload_size_floor():
+    params = TransportParameters(max_udp_payload_size=1100)
+    with pytest.raises(TransportError):
+        TransportParameters.parse(params.serialize())
+
+
+def test_unknown_parameters_ignored():
+    from repro.quic.wire import Buffer
+
+    params = TransportParameters()
+    buf = Buffer()
+    buf.push_varint(0x7777)
+    buf.push_varint_prefixed_bytes(b"whatever")
+    parsed = TransportParameters.parse(params.serialize() + buf.data())
+    assert parsed.initial_max_data == params.initial_max_data

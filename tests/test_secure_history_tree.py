@@ -1,0 +1,115 @@
+"""History tree tests (Appendix B.1's alternative STR log)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.secure.history_tree import HistoryTree, combine_spans
+
+
+def make_tree(n):
+    tree = HistoryTree()
+    for i in range(n):
+        tree.append(b"STR-%d" % i)
+    return tree
+
+
+class TestMembership:
+    def test_all_entries_provable_at_all_versions(self):
+        tree = make_tree(10)
+        for version in range(1, 11):
+            root = tree.root(version)
+            for index in range(version):
+                proof = tree.prove_membership(index, version)
+                assert HistoryTree.verify_membership(
+                    root, b"STR-%d" % index, proof)
+
+    def test_wrong_payload_rejected(self):
+        tree = make_tree(8)
+        proof = tree.prove_membership(3)
+        assert not HistoryTree.verify_membership(tree.root(), b"EVIL", proof)
+
+    def test_wrong_version_root_rejected(self):
+        tree = make_tree(8)
+        proof = tree.prove_membership(3, version=5)
+        assert not HistoryTree.verify_membership(tree.root(8), b"STR-3", proof)
+
+    def test_index_outside_version_rejected(self):
+        tree = make_tree(5)
+        with pytest.raises(ValueError):
+            tree.prove_membership(4, version=4)
+
+    def test_proof_is_logarithmic(self):
+        tree = make_tree(1024)
+        proof = tree.prove_membership(100)
+        assert len(proof.path) == 10  # log2(1024)
+
+
+class TestIncremental:
+    def test_every_version_pair_consistent(self):
+        tree = make_tree(13)
+        for m in range(1, 14):
+            for n in range(m, 14):
+                proof = tree.prove_incremental(m, n)
+                assert HistoryTree.verify_incremental(
+                    tree.root(m), tree.root(n), proof), (m, n)
+
+    def test_rewritten_history_detected(self):
+        """The property the appendix wants: a PV that rewrites an old STR
+        cannot produce a consistency proof to its old root."""
+        tree = make_tree(9)
+        old_root = tree.root(6)
+        # A second tree that shares only a prefix then diverges at entry 4.
+        evil = HistoryTree()
+        for i in range(9):
+            evil.append(b"STR-%d" % i if i != 4 else b"REWRITTEN")
+        proof = evil.prove_incremental(6, 9)
+        assert not HistoryTree.verify_incremental(old_root, evil.root(9), proof)
+
+    def test_forged_span_hash_rejected(self):
+        tree = make_tree(10)
+        proof = tree.prove_incremental(6, 10)
+        start, stop, _h = proof.old_subtrees[0]
+        proof.old_subtrees[0] = (start, stop, b"\x00" * 32)
+        assert not HistoryTree.verify_incremental(
+            tree.root(6), tree.root(10), proof)
+
+    def test_same_version_consistency(self):
+        tree = make_tree(7)
+        proof = tree.prove_incremental(7, 7)
+        assert HistoryTree.verify_incremental(tree.root(7), tree.root(7), proof)
+
+    def test_bad_versions_rejected(self):
+        tree = make_tree(5)
+        with pytest.raises(ValueError):
+            tree.prove_incremental(0, 3)
+        with pytest.raises(ValueError):
+            tree.prove_incremental(4, 3)
+
+    def test_proof_logarithmic_size(self):
+        tree = make_tree(2048)
+        proof = tree.prove_incremental(1000, 2048)
+        assert len(proof.old_subtrees) + len(proof.added_subtrees) < 30
+
+
+class TestCombineSpans:
+    def test_empty_and_gap_rejected(self):
+        assert combine_spans([]) is None
+        assert combine_spans([(0, 2, b"a" * 32), (3, 4, b"b" * 32)]) is None
+
+
+@given(st.integers(1, 120), st.data())
+@settings(max_examples=60, deadline=None)
+def test_incremental_property(n, data):
+    tree = make_tree(n)
+    m = data.draw(st.integers(1, n))
+    proof = tree.prove_incremental(m, n)
+    assert HistoryTree.verify_incremental(tree.root(m), tree.root(n), proof)
+    # A divergent history never verifies against the honest old root.
+    if m >= 2:
+        evil = HistoryTree()
+        for i in range(n):
+            evil.append(b"STR-%d" % i if i != m - 1 else b"X")
+        eproof = evil.prove_incremental(m, n)
+        assert not HistoryTree.verify_incremental(
+            tree.root(m), evil.root(n), eproof)

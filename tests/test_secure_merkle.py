@@ -1,0 +1,172 @@
+"""Merkle Prefix Tree tests: proofs of consistency and absence (§3.3/B)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.secure.merkle import (
+    MerklePrefixTree,
+    binding_bytes,
+    name_prefix,
+    verify_absence,
+    verify_path,
+)
+
+
+def test_insert_and_prove():
+    tree = MerklePrefixTree(depth=8)
+    tree.insert("org.a", b"code-a")
+    tree.insert("org.b", b"code-b")
+    root = tree.root()
+    path = tree.prove("org.a")
+    assert verify_path(root, "org.a", b"code-a", path)
+
+
+def test_proof_fails_for_wrong_code():
+    tree = MerklePrefixTree(depth=8)
+    tree.insert("org.a", b"code-a")
+    path = tree.prove("org.a")
+    assert not verify_path(tree.root(), "org.a", b"EVIL", path)
+
+
+def test_proof_fails_for_wrong_name():
+    tree = MerklePrefixTree(depth=8)
+    tree.insert("org.a", b"code-a")
+    path = tree.prove("org.a")
+    assert not verify_path(tree.root(), "org.b", b"code-a", path)
+
+
+def test_proof_fails_against_other_root():
+    tree = MerklePrefixTree(depth=8)
+    tree.insert("org.a", b"code-a")
+    path = tree.prove("org.a")
+    other = MerklePrefixTree(depth=8)
+    other.insert("org.a", b"code-a")
+    other.insert("org.z", b"z")
+    assert not verify_path(other.root(), "org.a", b"code-a", path)
+
+
+def test_root_changes_with_content():
+    t1 = MerklePrefixTree(depth=8)
+    t2 = MerklePrefixTree(depth=8)
+    t1.insert("org.a", b"x")
+    t2.insert("org.a", b"y")
+    assert t1.root() != t2.root()
+
+
+def test_root_deterministic_and_order_independent():
+    t1 = MerklePrefixTree(depth=10)
+    t2 = MerklePrefixTree(depth=10)
+    names = [f"plugin-{i}" for i in range(20)]
+    for n in names:
+        t1.insert(n, n.encode())
+    for n in reversed(names):
+        t2.insert(n, n.encode())
+    assert t1.root() == t2.root()
+
+
+def test_replace_binding_updates_root():
+    tree = MerklePrefixTree(depth=8)
+    tree.insert("org.a", b"v1")
+    r1 = tree.root()
+    tree.insert("org.a", b"v2")
+    assert tree.root() != r1
+    assert len(tree) == 1
+    assert verify_path(tree.root(), "org.a", b"v2", tree.prove("org.a"))
+
+
+def test_remove():
+    tree = MerklePrefixTree(depth=8)
+    tree.insert("org.a", b"a")
+    tree.insert("org.b", b"b")
+    tree.remove("org.a")
+    assert "org.a" not in tree
+    assert "org.b" in tree
+
+
+def test_prefix_collision_linked_list():
+    """Colliding names share a leaf; both proofs verify (§3.3)."""
+    tree = MerklePrefixTree(depth=1)  # two leaves: guaranteed collisions
+    names = [f"p{i}" for i in range(6)]
+    for n in names:
+        tree.insert(n, n.encode())
+    root = tree.root()
+    for n in names:
+        path = tree.prove(n)
+        assert verify_path(root, n, n.encode(), path)
+        # The co-located bindings appear as hashes in the leaf slots.
+        same_leaf = [m for m in names
+                     if name_prefix(m, 1) == name_prefix(n, 1)]
+        assert len(path.leaf_slots) == len(same_leaf)
+
+
+def test_developer_lookup_reveals_cleartext():
+    tree = MerklePrefixTree(depth=1)
+    tree.insert("p1", b"one")
+    tree.insert("p2", b"two")
+    path, bindings = tree.developer_lookup("p1")
+    # Developer sees clear text of every binding at the leaf (§B.2.1).
+    for binding in bindings:
+        assert b"\x00" in binding
+    mine = binding_bytes("p1", b"one")
+    same_leaf = name_prefix("p1", 1) == name_prefix("p2", 1)
+    assert (mine in bindings) == True
+    if same_leaf:
+        assert binding_bytes("p2", b"two") in bindings
+
+
+def test_absence_proof_empty_leaf():
+    tree = MerklePrefixTree(depth=8)
+    tree.insert("org.a", b"a")
+    proof = tree.prove_absence("org.never")
+    assert verify_absence(tree.root(), "org.never", proof)
+
+
+def test_absence_proof_fails_for_present_binding():
+    tree = MerklePrefixTree(depth=8)
+    tree.insert("org.a", b"a")
+    with pytest.raises(KeyError):
+        tree.prove_absence("org.a")
+
+
+def test_absence_proof_fails_against_tree_containing_it():
+    tree = MerklePrefixTree(depth=8)
+    proof = tree.prove_absence("org.x")
+    tree.insert("org.x", b"x")
+    assert not verify_absence(tree.root(), "org.x", proof)
+
+
+def test_prove_missing_raises():
+    tree = MerklePrefixTree(depth=8)
+    with pytest.raises(KeyError):
+        tree.prove("org.none")
+
+
+def test_path_size_logarithmic():
+    """Appendix B.3: the proof is Θ(λ(log n + α)) bytes."""
+    tree = MerklePrefixTree(depth=16)
+    for i in range(100):
+        tree.insert(f"plugin-{i}", bytes(100))
+    path = tree.prove("plugin-0")
+    assert len(path.siblings) == 16
+    assert path.size_bytes() < 1000  # ~16 hashes, not ~100 bindings
+
+
+def test_depth_bounds():
+    with pytest.raises(ValueError):
+        MerklePrefixTree(depth=0)
+    with pytest.raises(ValueError):
+        MerklePrefixTree(depth=65)
+
+
+@given(st.sets(st.text(alphabet="abcdefgh.", min_size=1, max_size=12),
+               min_size=1, max_size=25), st.integers(2, 10))
+@settings(max_examples=50, deadline=None)
+def test_all_inserted_bindings_provable(names, depth):
+    tree = MerklePrefixTree(depth=depth)
+    for n in names:
+        tree.insert(n, n.encode() + b"!")
+    root = tree.root()
+    for n in names:
+        assert verify_path(root, n, n.encode() + b"!", tree.prove(n))
+        assert not verify_path(root, n, n.encode() + b"?", tree.prove(n))

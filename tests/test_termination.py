@@ -1,0 +1,223 @@
+"""Termination checker tests (§5)."""
+
+import pytest
+
+from repro.termination import ControlFlowGraph, check_termination
+from repro.vm import assemble, compile_pluglet
+
+
+class TestCfg:
+    def test_straight_line_single_block(self):
+        cfg = ControlFlowGraph(assemble("mov r0, 1\nadd r0, 2\nexit"))
+        assert len(cfg.blocks) == 1
+        assert cfg.back_edges() == []
+
+    def test_branch_makes_blocks(self):
+        cfg = ControlFlowGraph(assemble("""
+            jeq r1, 0, skip
+            mov r0, 1
+        skip:
+            exit
+        """))
+        assert len(cfg.blocks) == 3
+        assert cfg.back_edges() == []
+
+    def test_loop_detected(self):
+        cfg = ControlFlowGraph(assemble("""
+        top:
+            sub r1, 1
+            jne r1, 0, top
+            exit
+        """))
+        assert len(cfg.back_edges()) == 1
+
+    def test_self_loop(self):
+        cfg = ControlFlowGraph(assemble("top:\nja top\nexit"))
+        assert len(cfg.back_edges()) == 1
+
+    def test_natural_loop_members(self):
+        cfg = ControlFlowGraph(assemble("""
+            mov r1, 10
+        top:
+            sub r1, 1
+            jne r1, 0, top
+            exit
+        """))
+        tail, head = cfg.back_edges()[0]
+        loop = cfg.natural_loop(tail, head)
+        assert head in loop
+
+
+class TestProofs:
+    def test_loop_free_proven(self):
+        report = check_termination(compile_pluglet(
+            "def f(a, b):\n    return a * b + 1"))
+        assert report.proven
+        assert report.reason == "loop-free"
+
+    def test_branching_no_loop_proven(self):
+        src = """
+def f(a):
+    if a > 10:
+        return 1
+    if a > 5:
+        return 2
+    return 3
+"""
+        assert check_termination(compile_pluglet(src)).proven
+
+    def test_counting_up_proven(self):
+        src = """
+def f(n):
+    i = 0
+    while i < n:
+        i += 1
+    return i
+"""
+        report = check_termination(compile_pluglet(src))
+        assert report.proven
+        assert "increases" in report.loops[0].ranking
+
+    def test_counting_down_proven(self):
+        src = """
+def f(n):
+    while n > 0:
+        n -= 1
+    return n
+"""
+        report = check_termination(compile_pluglet(src))
+        assert report.proven
+        assert "decreases" in report.loops[0].ranking
+
+    def test_step_by_constant_proven(self):
+        src = """
+def f(n):
+    i = 0
+    while i < n:
+        i += 7
+    return i
+"""
+        assert check_termination(compile_pluglet(src)).proven
+
+    def test_nested_loops_proven(self):
+        src = """
+def f(n):
+    total = 0
+    i = 0
+    while i < n:
+        j = 0
+        while j < 100:
+            total += 1
+            j += 1
+        i += 1
+    return total
+"""
+        report = check_termination(compile_pluglet(src))
+        assert report.proven
+        assert len(report.loops) == 2
+
+    def test_loop_with_break_proven(self):
+        src = """
+def f(n):
+    i = 0
+    while i < n:
+        if i == 7:
+            break
+        i += 1
+    return i
+"""
+        assert check_termination(compile_pluglet(src)).proven
+
+    def test_helpers_assumed_terminating(self):
+        """Like T2: 'The T2 prover assumes the termination of external
+        functions'."""
+        src = """
+def f(x):
+    a = helper(x)
+    b = helper(a)
+    return a + b
+"""
+        report = check_termination(compile_pluglet(src, helpers={"helper": 9}))
+        assert report.proven
+
+
+class TestRefusals:
+    def test_infinite_loop_not_proven(self):
+        assert not check_termination(assemble("top:\nja top\nexit")).proven
+
+    def test_unmodified_guard_not_proven(self):
+        report = check_termination(assemble("""
+            mov r1, 10
+        top:
+            jeq r1, 0, end
+            ja top
+        end:
+            exit
+        """))
+        assert not report.proven
+
+    def test_helper_driven_guard_not_proven(self):
+        src = """
+def f(n):
+    while probe(n) > 0:
+        n = probe(n)
+    return n
+"""
+        report = check_termination(compile_pluglet(src, helpers={"probe": 1}))
+        assert not report.proven
+
+    def test_moving_bound_not_proven(self):
+        # Both the counter and the bound move: no invariant bound.
+        src = """
+def f(n):
+    i = 0
+    while i < n:
+        i += 1
+        n += 1
+    return i
+"""
+        assert not check_termination(compile_pluglet(src)).proven
+
+    def test_wrong_direction_not_proven(self):
+        src = """
+def f(n):
+    i = 100
+    while i < n:
+        i -= 1
+    return i
+"""
+        assert not check_termination(compile_pluglet(src)).proven
+
+    def test_zero_step_not_proven(self):
+        src = """
+def f(n):
+    i = 0
+    while i < n:
+        i += 0
+    return i
+"""
+        assert not check_termination(compile_pluglet(src)).proven
+
+
+class TestPluginCorpus:
+    @pytest.mark.parametrize("builder_name", [
+        "monitoring", "datagram", "multipath", "fec",
+    ])
+    def test_shipped_plugins_fully_proven(self, builder_name):
+        """Table 2 analogue: our pluglets are simple enough that every one
+        gets a termination proof (the paper proved most of theirs)."""
+        from repro.plugins.datagram import build_datagram_plugin
+        from repro.plugins.fec import build_fec_plugin
+        from repro.plugins.monitoring import build_monitoring_plugin
+        from repro.plugins.multipath import build_multipath_plugin
+
+        builders = {
+            "monitoring": build_monitoring_plugin,
+            "datagram": build_datagram_plugin,
+            "multipath": build_multipath_plugin,
+            "fec": build_fec_plugin,
+        }
+        plugin = builders[builder_name]()
+        for pluglet in plugin.pluglets:
+            report = check_termination(pluglet.instructions)
+            assert report.proven, f"{pluglet.name}: {report.reason}"

@@ -1,0 +1,342 @@
+"""Restricted-Python → bytecode compiler tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.vm import (
+    CompileError,
+    ExecutionError,
+    PluginMemory,
+    VirtualMachine,
+    compile_pluglet,
+    verify,
+)
+
+WORD = (1 << 64) - 1
+
+
+def build(source, helpers_map=None, helpers_impl=None):
+    code = compile_pluglet(source, helpers=helpers_map)
+    verify(code)  # everything the compiler emits must verify
+    return VirtualMachine(code, PluginMemory(), helpers=helpers_impl)
+
+
+class TestBasics:
+    def test_return_constant(self):
+        assert build("def f():\n    return 7").run() == 7
+
+    def test_bare_return_and_fallthrough(self):
+        assert build("def f():\n    return").run() == 0
+        assert build("def f():\n    pass").run() == 0
+
+    def test_parameters(self):
+        vm = build("def f(a, b, c):\n    return a + b * c")
+        assert vm.run(1, 2, 3) == 7
+
+    def test_locals(self):
+        vm = build(
+            """
+def f(a):
+    x = a + 1
+    y = x * 2
+    return y - a
+"""
+        )
+        assert vm.run(10) == 12
+
+    def test_augmented_assignment(self):
+        vm = build(
+            """
+def f(a):
+    x = 0
+    x += a
+    x *= 3
+    x -= 1
+    return x
+"""
+        )
+        assert vm.run(5) == 14
+
+    def test_true_false_constants(self):
+        assert build("def f():\n    return True").run() == 1
+        assert build("def f():\n    return False").run() == 0
+
+    def test_large_constant(self):
+        assert build("def f():\n    return 0xdeadbeefcafebabe").run() == 0xDEADBEEFCAFEBABE
+
+    def test_unary_ops(self):
+        assert build("def f(a):\n    return -a").run(1) == WORD
+        assert build("def f(a):\n    return ~a").run(0) == WORD
+
+
+class TestControlFlow:
+    def test_if_else(self):
+        vm = build(
+            """
+def f(a):
+    if a > 10:
+        return 1
+    else:
+        return 2
+"""
+        )
+        assert vm.run(11) == 1
+        assert vm.run(10) == 2
+
+    def test_elif_chain(self):
+        vm = build(
+            """
+def f(a):
+    if a == 0:
+        r = 10
+    elif a == 1:
+        r = 20
+    else:
+        r = 30
+    return r
+"""
+        )
+        assert [vm.run(i) for i in range(3)] == [10, 20, 30]
+
+    def test_while_loop(self):
+        vm = build(
+            """
+def f(n):
+    total = 0
+    i = 1
+    while i <= n:
+        total += i
+        i += 1
+    return total
+"""
+        )
+        assert vm.run(10) == 55
+
+    def test_break_continue(self):
+        vm = build(
+            """
+def f(n):
+    total = 0
+    i = 0
+    while True:
+        i += 1
+        if i > n:
+            break
+        if i % 2 == 0:
+            continue
+        total += i
+    return total
+"""
+        )
+        assert vm.run(10) == 25  # 1+3+5+7+9
+
+    def test_nested_loops(self):
+        vm = build(
+            """
+def f(n):
+    total = 0
+    i = 0
+    while i < n:
+        j = 0
+        while j < n:
+            total += 1
+            j += 1
+        i += 1
+    return total
+"""
+        )
+        assert vm.run(7) == 49
+
+    def test_boolean_operators(self):
+        vm = build(
+            """
+def f(a, b):
+    if a > 1 and b > 1 and a + b > 10:
+        return 1
+    if a == 0 or b == 0:
+        return 2
+    return 3
+"""
+        )
+        assert vm.run(6, 6) == 1
+        assert vm.run(0, 5) == 2
+        assert vm.run(2, 2) == 3
+
+    def test_not_operator(self):
+        vm = build(
+            """
+def f(a):
+    if not a > 3:
+        return 1
+    return 0
+"""
+        )
+        assert vm.run(2) == 1
+        assert vm.run(4) == 0
+
+    def test_truthiness_condition(self):
+        vm = build("def f(a):\n    if a:\n        return 1\n    return 0")
+        assert vm.run(7) == 1
+        assert vm.run(0) == 0
+
+
+class TestHelpers:
+    def test_helper_call_with_args(self):
+        log = []
+
+        def record(vm, a, b, *rest):
+            log.append((a, b))
+            return a * 10 + b
+
+        vm = build(
+            "def f(x):\n    return emit(x, x + 1)",
+            helpers_map={"emit": 4},
+            helpers_impl={4: record},
+        )
+        assert vm.run(3) == 34
+        assert log == [(3, 4)]
+
+    def test_nested_helper_calls(self):
+        vm = build(
+            "def f(x):\n    return g(g(x))",
+            helpers_map={"g": 1},
+            helpers_impl={1: lambda vm, a, *r: a + 1},
+        )
+        assert vm.run(5) == 7
+
+    def test_bare_call_statement(self):
+        hits = []
+        vm = build(
+            "def f():\n    ping()\n    return 1",
+            helpers_map={"ping": 2},
+            helpers_impl={2: lambda vm, *a: hits.append(1)},
+        )
+        assert vm.run() == 1
+        assert hits == [1]
+
+
+class TestMemorySubscripts:
+    """The mem8/mem16/mem32/mem64 pseudo-arrays compile to real load and
+    store instructions, so every access runs under the memory monitor."""
+
+    def test_store_load_roundtrip(self):
+        from repro.vm.interpreter import HEAP_BASE
+
+        vm = build(f"""
+def f(v):
+    base = {HEAP_BASE}
+    mem64[base] = v
+    mem32[base + 8] = v
+    mem16[base + 12] = v
+    mem8[base + 14] = v
+    return mem64[base] + mem8[base + 14]
+""")
+        assert vm.run(0x1FF) == 0x1FF + 0xFF
+
+    def test_subscript_in_expression(self):
+        from repro.vm.interpreter import HEAP_BASE
+
+        vm = build(f"""
+def f(a, b):
+    mem64[{HEAP_BASE}] = a
+    mem64[{HEAP_BASE} + 8] = b
+    return mem64[{HEAP_BASE}] * mem64[{HEAP_BASE} + 8]
+""")
+        assert vm.run(6, 7) == 42
+
+    def test_out_of_bounds_subscript_trips_monitor(self):
+        vm = build("def f():\n    return mem64[12345]")
+        from repro.vm.interpreter import MemoryViolation
+
+        with pytest.raises(MemoryViolation):
+            vm.run()
+
+    def test_unknown_pseudo_array_rejected(self):
+        with pytest.raises(CompileError):
+            compile_pluglet("def f():\n    return mem128[0]")
+        with pytest.raises(CompileError):
+            compile_pluglet("def f(a):\n    return a[0]")
+
+
+class TestRejections:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "def f():\n    return 1.5",            # float constant
+            "def f():\n    return 'str'",           # string constant
+            "def f():\n    for i in range(3):\n        pass",  # for loop
+            "def f():\n    x, y = 1, 2",            # tuple assignment
+            "def f():\n    return unknown_helper()",  # unknown call
+            "def f():\n    return a",                # undefined name
+            "def f():\n    return 1 < 2 < 3",        # chained comparison
+            "def f(a, b, c, d, e, g):\n    return 0",  # too many params
+            "def f(*args):\n    return 0",           # varargs
+            "def f():\n    while True:\n        pass\n    else:\n        pass",
+            "def f():\n    import os",
+            "def f():\n    return [1]",
+            "def f():\n    x = lambda: 1",
+        ],
+    )
+    def test_unsupported_constructs(self, source):
+        with pytest.raises(CompileError):
+            compile_pluglet(source)
+
+    def test_two_functions_rejected(self):
+        with pytest.raises(CompileError):
+            compile_pluglet("def f():\n    return 0\ndef g():\n    return 1")
+
+
+class TestSemantics:
+    def test_division_is_unsigned_floor(self):
+        vm = build("def f(a, b):\n    return a // b")
+        assert vm.run(7, 2) == 3
+        # -1 is WORD: unsigned division.
+        assert vm.run(WORD, 2) == WORD // 2
+
+    def test_runtime_division_by_zero_faults(self):
+        vm = build("def f(a, b):\n    return a // b")
+        with pytest.raises(ExecutionError):
+            vm.run(1, 0)
+
+    @given(st.integers(0, 1000), st.integers(0, 1000))
+    @settings(max_examples=50)
+    def test_arith_matches_python(self, a, b):
+        vm = build("def f(a, b):\n    return (a + b) * 2 + (a ^ b) + (a & b)")
+        expected = ((a + b) * 2 + (a ^ b) + (a & b)) & WORD
+        assert vm.run(a, b) == expected
+
+    @given(st.integers(0, 50))
+    @settings(max_examples=30)
+    def test_loop_matches_python(self, n):
+        vm = build(
+            """
+def f(n):
+    total = 0
+    i = 0
+    while i < n:
+        total += i * i
+        i += 1
+    return total
+"""
+        )
+        assert vm.run(n) == sum(i * i for i in range(n)) & WORD
+
+    def test_deep_expression_spills(self):
+        # Deep nesting uses temp slots; must still verify and compute.
+        expr = "a" + " + a" * 30
+        vm = build(f"def f(a):\n    return {expr}")
+        assert vm.run(2) == 62
+
+    def test_excessively_deep_expression_rejected(self):
+        # Right-nested additions need one temp slot per level; past the
+        # 512-byte stack the compiler must refuse.
+        expr = "a + (" * 80 + "a" + ")" * 80
+        with pytest.raises(CompileError):
+            compile_pluglet(f"def f(a):\n    return {expr}")
+
+    def test_left_nested_expression_constant_depth(self):
+        # Left-nested additions evaluate with one temp slot, however long.
+        expr = "(" * 60 + "a" + " + a)" * 60
+        vm = build(f"def f(a):\n    return {expr}")
+        assert vm.run(1) == 61

@@ -1,0 +1,137 @@
+"""ISA encoding and assembler/disassembler tests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.vm import (
+    INSTRUCTION_SIZE,
+    AssemblyError,
+    Instruction,
+    Op,
+    assemble,
+    decode_program,
+    disassemble,
+    encode_program,
+)
+
+
+class TestEncoding:
+    def test_instruction_roundtrip(self):
+        ins = Instruction(Op.ADD, dst=1, src=2, offset=-3, imm=99)
+        assert Instruction.decode(ins.encode()) == ins
+
+    def test_negative_immediate_roundtrip(self):
+        ins = Instruction(Op.MOV_IMM, dst=0, imm=-1 & ((1 << 64) - 1))
+        decoded = Instruction.decode(ins.encode())
+        assert decoded.imm & ((1 << 64) - 1) == (1 << 64) - 1
+
+    def test_program_roundtrip(self):
+        prog = [
+            Instruction(Op.MOV_IMM, dst=0, imm=7),
+            Instruction(Op.EXIT),
+        ]
+        data = encode_program(prog)
+        assert len(data) == 2 * INSTRUCTION_SIZE
+        assert decode_program(data) == prog
+
+    def test_malformed_length_rejected(self):
+        with pytest.raises(ValueError):
+            decode_program(b"\x01\x02\x03")
+
+    @given(
+        st.sampled_from(list(Op)),
+        st.integers(0, 10),
+        st.integers(0, 10),
+        st.integers(-1000, 1000),
+        st.integers(-(1 << 31), (1 << 31) - 1),
+    )
+    def test_roundtrip_property(self, op, dst, src, offset, imm):
+        ins = Instruction(op, dst=dst, src=src, offset=offset, imm=imm)
+        decoded = Instruction.decode(ins.encode())
+        assert decoded.opcode == op
+        assert (decoded.dst, decoded.src, decoded.offset) == (dst, src, offset)
+        assert decoded.imm == imm
+
+
+class TestAssembler:
+    def test_alu_reg_and_imm_forms(self):
+        prog = assemble("add r1, r2\nadd r1, 5\nexit")
+        assert prog[0] == Instruction(Op.ADD, dst=1, src=2)
+        assert prog[1] == Instruction(Op.ADD_IMM, dst=1, imm=5)
+
+    def test_labels_forward_and_back(self):
+        prog = assemble(
+            """
+            top:
+                jeq r1, 0, end
+                sub r1, 1
+                ja top
+            end:
+                exit
+            """
+        )
+        assert prog[0].offset == 2  # to 'end' (pc 3) from pc 0
+        assert prog[2].offset == -3  # back to 'top'
+
+    def test_memory_operands(self):
+        prog = assemble(
+            "ldxw r0, [r1+4]\nstxdw [r10-8], r2\nstb [r3+0], 7\nexit"
+        )
+        assert prog[0] == Instruction(Op.LDXW, dst=0, src=1, offset=4)
+        assert prog[1] == Instruction(Op.STXDW, dst=10, src=2, offset=-8)
+        assert prog[2] == Instruction(Op.STB, dst=3, imm=7)
+
+    def test_call_by_name_and_id(self):
+        prog = assemble("call get\ncall 7\nexit", helpers={"get": 3})
+        assert prog[0].imm == 3
+        assert prog[1].imm == 7
+
+    def test_lddw_large_constant(self):
+        prog = assemble("lddw r1, 0x123456789abc\nexit")
+        assert prog[0] == Instruction(Op.LDDW, dst=1, imm=0x123456789ABC)
+
+    def test_comments_and_blank_lines(self):
+        prog = assemble("; a comment\n\nmov r0, 1 ; inline\nexit")
+        assert len(prog) == 2
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(AssemblyError):
+            assemble("x:\nx:\nexit")
+
+    def test_unknown_label_rejected(self):
+        with pytest.raises(AssemblyError):
+            assemble("ja nowhere\nexit")
+
+    def test_unknown_mnemonic_rejected(self):
+        with pytest.raises(AssemblyError):
+            assemble("frobnicate r1\nexit")
+
+    def test_bad_register_rejected(self):
+        with pytest.raises(AssemblyError):
+            assemble("mov rx, 1\nexit")
+
+    def test_relative_offsets(self):
+        prog = assemble("ja +1\nexit\nexit")
+        assert prog[0].offset == 1
+
+
+class TestDisassembler:
+    def test_roundtrip_through_text(self):
+        source = """
+            mov r0, 0
+            add r0, r1
+            jeq r0, 5, +1
+            ldxdw r2, [r10-16]
+            stxw [r1+4], r2
+            call 9
+            exit
+        """
+        prog = assemble(source)
+        text = disassemble(prog)
+        prog2 = assemble(text)
+        assert prog == prog2
+
+    def test_disassemble_imm_alu(self):
+        text = disassemble(assemble("mul r3, 10\nexit"))
+        assert "mul r3, 10" in text

@@ -1,0 +1,47 @@
+"""Regenerate docs/protocol-operations.md from the live registry.
+
+Run from the repository root:  python tools/gen_protoop_docs.py
+"""
+
+import pathlib
+
+from repro.quic import QuicConfiguration
+from repro.quic.connection import QuicConnection
+
+
+def main() -> None:
+    conn = QuicConnection(QuicConfiguration(is_client=True))
+    table = conn.protoops
+    lines = [
+        "# Protocol operations reference",
+        "",
+        "Generated from the live registry "
+        f"(`QuicConnection` registers {table.operation_count()} operations, "
+        f"{table.parameterized_count()} parameterized — the paper's §2.2 "
+        "counts).",
+        "",
+        "Each operation exposes `replace` / `pre` / `post` anchors; "
+        "operations",
+        "marked *external* are callable only by the application (§2.4);",
+        "operations with no default are empty-anchor connection events.",
+        "",
+        "| operation | parameterized | external | default behaviour |",
+        "|---|---|---|---|",
+    ]
+    for name in table.names:
+        op = table.get(name)
+        default = "yes" if op.defaults else "event hook (none)"
+        if op.parameterized and op.defaults:
+            default = f"yes ({len(op.defaults)} parameter values)"
+        lines.append(
+            f"| `{name}` | {'yes' if op.parameterized else ''} "
+            f"| {'yes' if op.external else ''} | {default} |"
+        )
+    out = pathlib.Path(__file__).resolve().parent.parent / "docs"
+    out.mkdir(exist_ok=True)
+    (out / "protocol-operations.md").write_text("\n".join(lines) + "\n")
+    print(f"wrote {table.operation_count()} operations")
+
+
+if __name__ == "__main__":
+    main()
