@@ -2,6 +2,14 @@
 
 from .api import CORE_HELPER_NAMES, ApiViolation, PluginApi
 from .cache import FieldPolicy, PluginCache
+from .containment import (
+    ContainmentPolicy,
+    CrashRecord,
+    FailureClass,
+    PluginQuarantined,
+    QuarantineRegistry,
+    classify_failure,
+)
 from .memory import AllocationError, BlockAllocator
 from .plugin import Plugin, PluginInstance, PluginRuntime, Pluglet
 from .protoop import Anchor, ProtocolOperation, ProtoopError, ProtoopTable
@@ -12,7 +20,13 @@ __all__ = [
     "ApiViolation",
     "BlockAllocator",
     "CORE_HELPER_NAMES",
+    "ContainmentPolicy",
+    "CrashRecord",
+    "FailureClass",
     "FieldPolicy",
+    "PluginQuarantined",
+    "QuarantineRegistry",
+    "classify_failure",
     "Plugin",
     "PluginApi",
     "PluginCache",

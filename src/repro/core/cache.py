@@ -11,15 +11,23 @@ from __future__ import annotations
 
 from typing import Optional
 
+from .containment import QuarantineRegistry
 from .plugin import Plugin, PluginInstance
 
 
 class PluginCache:
-    """Caches verified plugins and idle :class:`PluginInstance` shells."""
+    """Caches verified plugins and idle :class:`PluginInstance` shells.
 
-    def __init__(self) -> None:
+    When built with a :class:`~repro.core.containment.QuarantineRegistry`,
+    the cache is also the cross-connection enforcement point for plugin
+    quarantine: :meth:`instantiate` refuses plugins that are backing off
+    or blocklisted (raising
+    :class:`~repro.core.containment.PluginQuarantined`)."""
+
+    def __init__(self, quarantine: Optional[QuarantineRegistry] = None) -> None:
         self._plugins: dict[str, Plugin] = {}
         self._idle_instances: dict[str, list] = {}
+        self.quarantine = quarantine
         self.hits = 0
         self.misses = 0
 
@@ -47,6 +55,8 @@ class PluginCache:
         plugin = self._plugins.get(name)
         if plugin is None:
             raise KeyError(f"plugin {name!r} not in cache")
+        if self.quarantine is not None:
+            self.quarantine.check(name, getattr(conn, "now", 0.0))
         idle = self._idle_instances.get(name)
         if idle:
             self.hits += 1

@@ -16,9 +16,19 @@ A received plugin is checked against the cached STRs of the trusted PVs;
 on success it is stored in the local cache — "Remote plugins are not
 activated for the current connection, but rather offered in subsequent
 connections".
+
+The exchange is resilient to hostile network conditions: requests are
+retried with exponential backoff when the provider stays silent, PLUGIN
+chunks may arrive out of order / duplicated / overlapping, the
+reassembled binding is integrity-checked against a digest announced in
+PLUGIN_PROOF, and when validation definitively fails or the provider
+stops responding the exchange *degrades gracefully* — the connection
+simply proceeds pluginless.
 """
 
 from __future__ import annotations
+
+import hashlib
 
 from dataclasses import dataclass, field
 from typing import Callable, Optional
@@ -31,6 +41,7 @@ from repro.secure.merkle import AuthenticationPath, verify_path
 from repro.secure.validator import SignedTreeRoot
 
 from .cache import PluginCache
+from .containment import PluginQuarantined
 from .plugin import Plugin
 from .protoop import Anchor
 
@@ -39,6 +50,14 @@ PLUGIN_PROOF_TYPE = 0x61
 PLUGIN_TYPE = 0x62
 PLUGIN_CHUNK = 1000
 EXCHANGE_QUEUE = "__plugin_exchange__"
+
+#: Request (PLUGIN_VALIDATE) timeout/backoff defaults, in seconds of
+#: connection time.  A request not answered within the timeout is retried
+#: with the timeout doubled; after ``DEFAULT_MAX_RETRIES`` retries the
+#: exchange for that plugin degrades.
+DEFAULT_REQUEST_TIMEOUT = 1.0
+DEFAULT_RETRY_FACTOR = 2.0
+DEFAULT_MAX_RETRIES = 3
 
 
 @dataclass
@@ -113,6 +132,9 @@ class PluginProofFrame(F.Frame):
 
     plugin_name: str = ""
     total_length: int = 0  # compressed plugin length, announced up front
+    #: Integrity check over the reassembled binding: SHA-256 of the
+    #: compressed plugin bytes (empty = not announced).
+    digest: bytes = b""
     proof: Optional[ProofEntry] = None
     type = PLUGIN_PROOF_TYPE
 
@@ -120,6 +142,7 @@ class PluginProofFrame(F.Frame):
         buf.push_varint(self.type)
         buf.push_varint_prefixed_bytes(self.plugin_name.encode("utf-8"))
         buf.push_varint(self.total_length)
+        buf.push_varint_prefixed_bytes(self.digest)
         proof = self.proof
         buf.push_varint_prefixed_bytes(proof.validator_id.encode("utf-8"))
         buf.push_varint(proof.str_epoch)
@@ -131,12 +154,14 @@ class PluginProofFrame(F.Frame):
     def parse(cls, buf: Buffer, frame_type: int) -> "PluginProofFrame":
         name = buf.pull_varint_prefixed_bytes().decode("utf-8")
         total = buf.pull_varint()
+        digest = buf.pull_varint_prefixed_bytes()
         vid = buf.pull_varint_prefixed_bytes().decode("utf-8")
         epoch = buf.pull_varint()
         root = buf.pull_bytes(32)
         sig = buf.pull_varint_prefixed_bytes()
         proof = ProofEntry(vid, epoch, root, sig, _pull_path(buf))
-        return cls(plugin_name=name, total_length=total, proof=proof)
+        return cls(plugin_name=name, total_length=total, digest=digest,
+                   proof=proof)
 
 
 @dataclass
@@ -191,20 +216,64 @@ class TrustStore:
 @dataclass
 class _IncomingPlugin:
     total_length: int = -1
+    digest: bytes = b""
     proofs: list = field(default_factory=list)
     chunks: dict = field(default_factory=dict)
 
+    def add_chunk(self, offset: int, data: bytes) -> str:
+        """Validate and store one chunk.  Returns ``"ok"``, ``"duplicate"``
+        or ``"rejected"`` — chunks may arrive out of order or duplicated
+        (retransmission), but zero-length, out-of-range and overlapping
+        chunks are rejected rather than trusted."""
+        if not data:
+            return "rejected"
+        if self.total_length >= 0 and offset + len(data) > self.total_length:
+            return "rejected"
+        existing = self.chunks.get(offset)
+        if existing is not None:
+            return "duplicate" if existing == data else "rejected"
+        end = offset + len(data)
+        for other_off, other in self.chunks.items():
+            if other_off < end and offset < other_off + len(other):
+                return "rejected"  # partial overlap: hostile or buggy peer
+        self.chunks[offset] = data
+        return "ok"
+
     def complete(self) -> bool:
+        """Whether the chunks contiguously cover ``[0, total_length)``.
+
+        Coverage is computed over intervals, not a byte-count sum, so the
+        exact-multiple-of-PLUGIN_CHUNK boundary and out-of-order arrival
+        are handled and a hole can never be masked by duplicates."""
         if self.total_length < 0:
             return False
-        received = sum(len(d) for d in self.chunks.values())
-        return received >= self.total_length
+        end = 0
+        for offset in sorted(self.chunks):
+            if offset > end:
+                return False  # hole
+            end = max(end, offset + len(self.chunks[offset]))
+        return end >= self.total_length
 
     def assemble(self) -> bytes:
         out = bytearray(self.total_length)
         for offset, data in self.chunks.items():
             out[offset:offset + len(data)] = data
         return bytes(out)
+
+    def integrity_ok(self, compressed: bytes) -> bool:
+        if not self.digest:
+            return True  # provider did not announce one
+        return hashlib.sha256(compressed).digest() == self.digest
+
+
+@dataclass
+class _PendingRequest:
+    """One outstanding PLUGIN_VALIDATE awaiting proofs + chunks."""
+
+    name: str
+    attempts: int = 1
+    next_retry: float = 0.0
+    timeout: float = DEFAULT_REQUEST_TIMEOUT
 
 
 class PluginExchanger:
@@ -218,6 +287,9 @@ class PluginExchanger:
         formula: str = "",
         proof_provider: Optional[Callable] = None,
         auto_inject: bool = True,
+        request_timeout: float = DEFAULT_REQUEST_TIMEOUT,
+        retry_factor: float = DEFAULT_RETRY_FACTOR,
+        max_retries: int = DEFAULT_MAX_RETRIES,
     ):
         self.conn = conn
         self.cache = cache
@@ -225,9 +297,23 @@ class PluginExchanger:
         self.formula_text = formula
         self.proof_provider = proof_provider
         self.auto_inject = auto_inject
+        self.request_timeout = request_timeout
+        self.retry_factor = retry_factor
+        self.max_retries = max_retries
         self.injected: list = []
         self.received: list = []
         self.rejected: dict = {}
+        #: plugin name -> reason the exchange gave up (graceful degradation).
+        self.degraded: dict = {}
+        #: Resilience counters (observable in experiments and tests).
+        self.stats = {
+            "requests": 0,
+            "retries": 0,
+            "chunks_rejected": 0,
+            "chunks_duplicated": 0,
+            "integrity_failures": 0,
+        }
+        self.pending: dict[str, _PendingRequest] = {}
         self._incoming: dict[str, _IncomingPlugin] = {}
         self._register()
 
@@ -252,8 +338,30 @@ class PluginExchanger:
                            param=frame_type, parameterized=True)
         table.attach("connection_established", Anchor.POST,
                      self._on_established)
+        # The sans-io exchanger has no timer of its own; piggyback the
+        # retry clock on the send path, which runs on every wakeup, and
+        # publish the earliest retry deadline as a wakeup hint so an
+        # otherwise idle connection is still pumped when a request times
+        # out (e.g. a silent provider after the handshake settles).
+        table.attach("before_sending_packet", Anchor.POST, self._on_tick)
+        hints = getattr(conn, "wakeup_hints", None)
+        if hints is not None:
+            hints.append(self._next_deadline)
+        # Resilience events (extensions beyond the 72-protoop census).
+        for event in ("plugin_exchange_retry", "plugin_exchange_degraded",
+                      "plugin_exchange_completed"):
+            if not table.exists(event):
+                table.declare(event)
         # Advertise the cache contents.
         conn.configuration.supported_plugins = list(self.cache.names)
+
+    def _emit(self, name: str, *args) -> None:
+        """Run an observability event protoop; observers must not be able
+        to break the exchange."""
+        try:
+            self.conn.protoops.run(self.conn, name, None, *args)
+        except Exception:
+            pass
 
     def _notify_exchange_frame(self, conn, frame, acked: bool, pkt) -> None:
         if not acked:
@@ -273,7 +381,13 @@ class PluginExchanger:
         for name in peer.plugins_to_inject:
             if self.cache.has(name):
                 if self.auto_inject:
-                    self.inject_local(name)
+                    try:
+                        self.inject_local(name)
+                    except PluginQuarantined as exc:
+                        # Crash-looping plugin: proceed without it rather
+                        # than failing the negotiation.
+                        self.degraded[name] = str(exc)
+                        self._emit("plugin_exchange_degraded", name, str(exc))
             else:
                 self._request(name)
 
@@ -285,6 +399,44 @@ class PluginExchanger:
     def _request(self, name: str) -> None:
         frame = PluginValidateFrame(plugin_name=name, formula=self.formula_text)
         self._queue(frame)
+        self.stats["requests"] += 1
+        self.pending[name] = _PendingRequest(
+            name=name,
+            next_retry=self.conn.now + self.request_timeout,
+            timeout=self.request_timeout,
+        )
+
+    def _next_deadline(self) -> Optional[float]:
+        """Earliest pending retry deadline (None when nothing is pending);
+        drives the connection's wakeup timer."""
+        if not self.pending:
+            return None
+        return min(req.next_retry for req in self.pending.values())
+
+    def _on_tick(self, conn, args, result) -> None:
+        """Retry silent requests with exponential backoff; give up (and
+        degrade gracefully) after ``max_retries`` resends."""
+        now = conn.now
+        for name in list(self.pending):
+            req = self.pending[name]
+            if now < req.next_retry:
+                continue
+            if req.attempts > self.max_retries:
+                del self.pending[name]
+                reason = (
+                    f"no response after {req.attempts} attempts; "
+                    "proceeding without plugin"
+                )
+                self.degraded[name] = reason
+                self._emit("plugin_exchange_degraded", name, reason)
+                continue
+            req.attempts += 1
+            req.timeout *= self.retry_factor
+            req.next_retry = now + req.timeout
+            self.stats["retries"] += 1
+            self._queue(PluginValidateFrame(plugin_name=name,
+                                            formula=self.formula_text))
+            self._emit("plugin_exchange_retry", name, req.attempts)
 
     def _queue(self, frame: F.Frame) -> None:
         self.conn.reserve_frames([
@@ -301,10 +453,12 @@ class PluginExchanger:
         if provided is None:
             return
         compressed, proofs = provided
+        digest = hashlib.sha256(compressed).digest()
         for proof in proofs:
             self._queue(PluginProofFrame(
                 plugin_name=frame.plugin_name,
                 total_length=len(compressed),
+                digest=digest,
                 proof=proof,
             ))
         for offset in range(0, len(compressed), PLUGIN_CHUNK):
@@ -316,19 +470,41 @@ class PluginExchanger:
 
     # --- requester side ------------------------------------------------------
 
+    def _touch_pending(self, name: str) -> None:
+        """The provider is alive: push the retry deadline out so in-flight
+        transfers are not re-requested mid-stream."""
+        req = self.pending.get(name)
+        if req is not None:
+            req.next_retry = self.conn.now + req.timeout
+
     def _process_proof(self, conn, frame: PluginProofFrame, ctx) -> None:
         state = self._incoming.setdefault(frame.plugin_name, _IncomingPlugin())
         state.total_length = frame.total_length
+        # Chunks accepted before the length was known may now be seen to
+        # be out of range; drop them so completion cannot stall on them.
+        for offset in [o for o, d in state.chunks.items()
+                       if o + len(d) > state.total_length]:
+            del state.chunks[offset]
+            self.stats["chunks_rejected"] += 1
+        if frame.digest:
+            state.digest = frame.digest
         if frame.proof is not None:
             state.proofs = [
                 p for p in state.proofs
                 if p.validator_id != frame.proof.validator_id
             ] + [frame.proof]
+        self._touch_pending(frame.plugin_name)
         self._maybe_finish(frame.plugin_name)
 
     def _process_plugin(self, conn, frame: PluginFrame, ctx) -> None:
         state = self._incoming.setdefault(frame.plugin_name, _IncomingPlugin())
-        state.chunks[frame.offset] = frame.data
+        verdict = state.add_chunk(frame.offset, frame.data)
+        if verdict == "rejected":
+            self.stats["chunks_rejected"] += 1
+            return
+        if verdict == "duplicate":
+            self.stats["chunks_duplicated"] += 1
+        self._touch_pending(frame.plugin_name)
         self._maybe_finish(frame.plugin_name)
 
     def _maybe_finish(self, name: str) -> None:
@@ -336,19 +512,31 @@ class PluginExchanger:
         if state is None or not state.complete():
             return
         compressed = state.assemble()
+        if not state.integrity_ok(compressed):
+            # The reassembled binding does not hash to the announced
+            # digest: throw the chunks away and let the retry clock
+            # re-request the plugin from scratch.
+            self.stats["integrity_failures"] += 1
+            state.chunks.clear()
+            return
         reason = self._verify_incoming(name, compressed, state.proofs)
         if reason is None:
             del self._incoming[name]
+            self.pending.pop(name, None)
             self.rejected.pop(name, None)
             plugin = Plugin.decompress(compressed)
             self.cache.store(plugin)
             self.received.append(name)
+            self._emit("plugin_exchange_completed", name, len(compressed))
             return
         self.rejected[name] = reason
         if "unsatisfied" not in reason:
             # Definitive failure; a formula-unsatisfied plugin stays
             # pending in case late proof frames arrive (loss reordering).
             del self._incoming[name]
+            self.pending.pop(name, None)
+            self.degraded[name] = reason
+            self._emit("plugin_exchange_degraded", name, reason)
 
     def _verify_incoming(self, name: str, compressed: bytes, proofs: list):
         """Check of the proof of consistency (§3.3 / Figure 5).

@@ -24,6 +24,8 @@ from repro.errors import TransportError, TransportErrorCode
 from repro.quic.wire import Buffer
 from repro.vm.compiler import compile_pluglet
 from repro.vm.interpreter import (
+    DEFAULT_FUEL,
+    DEFAULT_HELPER_BUDGET,
     ExecutionError,
     MemoryViolation,
     PluginMemory,
@@ -77,10 +79,16 @@ class Pluglet:
     anchor: str  # replace | pre | post | external
     instructions: list
     param: Any = None  # int, str or None
+    #: Per-invocation runtime budgets (0 = host default): instruction fuel
+    #: and helper calls.  Part of the manifest, hence of the §3.1 binding.
+    fuel: int = 0
+    helper_budget: int = 0
 
     def __post_init__(self):
         if self.anchor not in _ANCHORS:
             raise ValueError(f"unknown anchor {self.anchor!r}")
+        if self.fuel < 0 or self.helper_budget < 0:
+            raise ValueError("budgets must be >= 0 (0 = host default)")
 
     @property
     def bytecode(self) -> bytes:
@@ -95,6 +103,8 @@ class Pluglet:
         source: str,
         helpers: Optional[dict] = None,
         param: Any = None,
+        fuel: int = 0,
+        helper_budget: int = 0,
     ) -> "Pluglet":
         """Compile restricted-Python source into a pluglet (the paper's
         C-to-eBPF step)."""
@@ -107,6 +117,8 @@ class Pluglet:
             anchor=anchor,
             instructions=compile_pluglet(source, helpers=mapping),
             param=param,
+            fuel=fuel,
+            helper_budget=helper_budget,
         )
 
 
@@ -147,6 +159,8 @@ class Plugin:
             else:
                 buf.push_uint8(2)
                 buf.push_varint_prefixed_bytes(str(p.param).encode("utf-8"))
+            buf.push_varint(p.fuel)
+            buf.push_varint(p.helper_budget)
             buf.push_varint_prefixed_bytes(p.bytecode)
         return buf.data()
 
@@ -168,9 +182,12 @@ class Plugin:
                 param = buf.pull_varint()
             else:
                 param = buf.pull_varint_prefixed_bytes().decode("utf-8")
+            fuel = buf.pull_varint()
+            helper_budget = buf.pull_varint()
             bytecode = buf.pull_varint_prefixed_bytes()
             pluglets.append(Pluglet(pname, protoop, anchor,
-                                    decode_program(bytecode), param))
+                                    decode_program(bytecode), param,
+                                    fuel=fuel, helper_budget=helper_budget))
         host_helpers, frame_registrar = _resolve_host_hooks(name)
         return cls(name, pluglets, memory_size=memory_size,
                    host_helpers=host_helpers, frame_registrar=frame_registrar)
@@ -304,7 +321,9 @@ class PluginInstance:
         self._attached: list = []  # (protoop, anchor, func, param)
         for p in plugin.pluglets:
             self.vms[p.name] = VirtualMachine(
-                p.instructions, self.runtime.memory, helpers=helper_table
+                p.instructions, self.runtime.memory, helpers=helper_table,
+                instruction_budget=p.fuel or DEFAULT_FUEL,
+                helper_call_budget=p.helper_budget or DEFAULT_HELPER_BUDGET,
             )
         self.attached = False
 
@@ -325,6 +344,13 @@ class PluginInstance:
             return value
         except (MemoryViolation, ExecutionError, ApiViolation,
                 ProtoopError) as exc:
+            containment = getattr(self.conn, "containment", None)
+            if containment is not None and containment.on_pluglet_failure(
+                self, pluglet.name, exc
+            ):
+                # Contained: the plugin was detached and quarantined, the
+                # connection proceeds without it.
+                return None
             self._on_runtime_failure(exc)
             if isinstance(exc, (ApiViolation, ProtoopError)):
                 raise

@@ -1,5 +1,6 @@
 """Discrete-event network simulator (the paper's lab testbed, Figure 7)."""
 
+from .faults import FaultInjector, FaultStats
 from .link import IPV4_UDP_OVERHEAD, Link, Pipe, SeededLossGen
 from .node import Datagram, Host, Interface, Node, Router
 from .sim import Event, Simulator
@@ -9,6 +10,8 @@ from .topology import Figure7Topology, PathParams, symmetric_topology
 __all__ = [
     "Datagram",
     "Event",
+    "FaultInjector",
+    "FaultStats",
     "Figure7Topology",
     "Host",
     "IPV4_UDP_OVERHEAD",

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import warnings
 from typing import Any, Callable, Optional
 
 
@@ -84,12 +85,36 @@ class Simulator:
             return True
         return False
 
-    def run(self, until: Optional[float] = None, max_events: int = 50_000_000) -> None:
+    def _on_limit(self, max_events: int, on_max_events: str) -> None:
+        """Report hitting the runaway guard with enough context to debug
+        *what* was still spinning (current time, queue depth, next event)."""
+        head = next((ev for ev in self._queue if not ev.cancelled), None)
+        msg = (
+            f"simulation exceeded {max_events} events at t={self.now:.6f} "
+            f"with {self.pending()} events still pending"
+            + (f"; next: {head!r}" if head is not None else "")
+        )
+        if on_max_events == "warn":
+            warnings.warn(msg, RuntimeWarning, stacklevel=3)
+            return
+        raise RuntimeError(msg)
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: int = 50_000_000,
+        on_max_events: str = "raise",
+    ) -> None:
         """Run events until the queue drains or ``until`` (absolute time).
 
-        ``max_events`` is a runaway guard; hitting it raises RuntimeError
-        rather than looping forever on a buggy protocol.
+        ``max_events`` is a runaway guard.  ``on_max_events`` selects what
+        hitting it does: ``"raise"`` (default) raises RuntimeError,
+        ``"warn"`` emits a RuntimeWarning and returns with the remaining
+        events still queued, so callers can inspect the stuck state.
         """
+        if on_max_events not in ("raise", "warn"):
+            raise ValueError(f"on_max_events must be 'raise' or 'warn', "
+                             f"got {on_max_events!r}")
         count = 0
         while self._queue:
             ev = self._queue[0]
@@ -104,7 +129,8 @@ class Simulator:
             ev.fn(*ev.args)
             count += 1
             if count >= max_events:
-                raise RuntimeError(f"simulation exceeded {max_events} events")
+                self._on_limit(max_events, on_max_events)
+                return
         if until is not None:
             self.now = max(self.now, until)
 
@@ -113,11 +139,16 @@ class Simulator:
         predicate: Callable[[], bool],
         timeout: float = 3600.0,
         max_events: int = 50_000_000,
+        on_max_events: str = "raise",
     ) -> bool:
         """Run until ``predicate()`` is true. Returns whether it became true.
 
         ``timeout`` is in absolute simulated seconds from the current time.
+        ``on_max_events`` behaves as in :meth:`run`.
         """
+        if on_max_events not in ("raise", "warn"):
+            raise ValueError(f"on_max_events must be 'raise' or 'warn', "
+                             f"got {on_max_events!r}")
         deadline = self.now + timeout
         count = 0
         if predicate():
@@ -137,5 +168,6 @@ class Simulator:
                 return True
             count += 1
             if count >= max_events:
-                raise RuntimeError(f"simulation exceeded {max_events} events")
+                self._on_limit(max_events, on_max_events)
+                return predicate()
         return predicate()

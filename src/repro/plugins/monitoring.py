@@ -54,6 +54,9 @@ OFF_LOSS_ALARMS = 112
 OFF_HANDSHAKE_US = 120
 OFF_HS_PACKETS = 128  # handshake-time PI snapshot (first set, §4.1)
 OFF_FINAL_BASE = 136  # final report: live fields read via get()
+# Optional containment PIs (build_monitoring_plugin(containment=True)).
+OFF_PLUGIN_FAULTS = 200
+OFF_PLUGIN_QUARANTINES = 208
 
 PI_FIELDS = [
     ("packets_sent", OFF_PACKETS_SENT),
@@ -81,6 +84,9 @@ PI_FIELDS = [
     ("final_acks_received", OFF_FINAL_BASE + 40),
     ("final_srtt_us", OFF_FINAL_BASE + 48),
     ("final_spurious", OFF_FINAL_BASE + 56),
+    # Zero unless the plugin was built with containment=True.
+    ("plugin_faults", OFF_PLUGIN_FAULTS),
+    ("plugin_quarantines", OFF_PLUGIN_QUARANTINES),
 ]
 
 
@@ -155,8 +161,13 @@ def final_report():
     )
 
 
-def build_monitoring_plugin() -> Plugin:
-    """Assemble the 14-pluglet monitoring plugin."""
+def build_monitoring_plugin(containment: bool = False) -> Plugin:
+    """Assemble the 14-pluglet monitoring plugin (Table 2).
+
+    ``containment=True`` adds two extra passive pluglets counting
+    ``plugin_fault`` and ``plugin_quarantined`` recovery events, so a
+    deployment can monitor how often containment fires.  They are opt-in
+    to keep the paper's 14-pluglet figure intact by default."""
     pluglets = [
         _counter_pluglet("count_sent", "packet_sent_event", OFF_PACKETS_SENT),
         _counter_pluglet("count_received", "packet_received_event",
@@ -178,6 +189,12 @@ def build_monitoring_plugin() -> Plugin:
         _final_report_pluglet(),
     ]
     assert len(pluglets) == 14  # Table 2: the monitoring plugin has 14
+    if containment:
+        pluglets.append(_counter_pluglet(
+            "count_plugin_fault", "plugin_fault", OFF_PLUGIN_FAULTS))
+        pluglets.append(_counter_pluglet(
+            "count_plugin_quarantine", "plugin_quarantined",
+            OFF_PLUGIN_QUARANTINES))
     return Plugin(PLUGIN_NAME, pluglets)
 
 

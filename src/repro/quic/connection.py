@@ -57,6 +57,15 @@ import itertools
 
 _instance_counter = itertools.count(1)
 
+
+def reset_instance_counter() -> None:
+    """Reset the per-process connection counter that perturbs connection
+    RNG seeds.  Experiments that must be bit-identical across repeated
+    in-process runs (e.g. fault-injection determinism checks) call this
+    between runs so the i-th connection of each run draws the same seed."""
+    global _instance_counter
+    _instance_counter = itertools.count(1)
+
 CID_LENGTH = 8
 INITIAL_PADDING_TARGET = 1200
 HANDSHAKE_CH = 1
@@ -167,6 +176,13 @@ class QuicConnection:
         # Timers and lifecycle.
         self._pto_count = 0
         self._last_activity = now
+        #: Extension wakeup hints: callables returning an absolute deadline
+        #: (connection time) or None.  Consulted by :meth:`next_timer`
+        #: alongside the loss and idle alarms so sans-io extensions (e.g.
+        #: the plugin exchanger's retry clock) can wake an otherwise idle
+        #: connection.  Plain callables — not protoops — to keep the
+        #: paper's 72-operation census intact.
+        self.wakeup_hints: list[Callable[[], Optional[float]]] = []
         self.closed = False
         self.close_error: Optional[tuple[int, str]] = None
         self._close_frame_pending: Optional[F.ConnectionCloseFrame] = None
@@ -310,6 +326,10 @@ class QuicConnection:
             "spin_bit_flipped",
         ):
             t.declare(event)
+        # Fault containment & recovery events (plugin_fault,
+        # plugin_quarantined, plugin_exchange_retry, ...) are declared by
+        # the modules that emit them (repro.core.containment/.exchange):
+        # they are extensions, not part of the paper's 72-protoop census.
 
     # ------------------------------------------------------------------
     # Handshake.
@@ -734,7 +754,8 @@ class QuicConnection:
             return None
         alarm = self.protoops.run(self, "set_loss_alarm", None)
         idle = self.protoops.run(self, "set_idle_timer", None)
-        candidates = [t for t in (alarm, idle) if t is not None]
+        hints = (hint() for hint in self.wakeup_hints)
+        candidates = [t for t in (alarm, idle, *hints) if t is not None]
         return min(candidates) if candidates else None
 
     def handle_timer(self, now: float) -> None:
@@ -803,12 +824,21 @@ class QuicConnection:
 
     def _op_process_incoming_packet(self, conn, data: bytes, path_index: int) -> None:
         buf = Buffer(data)
-        header, payload_len = self.protoops.run(self, "parse_packet_header", None, buf)
-        header_bytes = data[:buf.position]
-        ciphertext = buf.pull_bytes(payload_len)
+        # Everything up to AEAD opening works on unauthenticated bytes: a
+        # corrupted datagram must be *dropped*, never close the connection
+        # (which a bare FrameEncodingError — a TransportError — would do).
+        try:
+            header, payload_len = self.protoops.run(
+                self, "parse_packet_header", None, buf)
+            header_bytes = data[:buf.position]
+            ciphertext = buf.pull_bytes(payload_len)
+        except ProtoopError:
+            raise
+        except (TransportError, ValueError) as exc:
+            raise CryptoError(f"undecodable packet header: {exc}") from exc
         epoch = header.epoch
         if epoch is Epoch.HANDSHAKE:
-            raise ProtocolViolation("handshake epoch unused in this model")
+            raise CryptoError("handshake epoch unused in this model")
         if epoch is Epoch.INITIAL and self.crypto[Epoch.INITIAL] is None:
             # Server side: derive initial keys from the client's DCID.
             self._original_dcid = header.destination_cid

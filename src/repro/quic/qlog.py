@@ -60,6 +60,12 @@ class ConnectionTracer:
             ("loss_alarm_fired", self._on_alarm),
             ("plugin_injected", self._on_plugin),
             ("spin_bit_flipped", self._on_spin),
+            ("plugin_fault", self._on_plugin_fault),
+            ("plugin_quarantined", self._on_plugin_quarantined),
+            ("plugin_blocklisted", self._on_plugin_blocklisted),
+            ("plugin_exchange_retry", self._on_exchange_retry),
+            ("plugin_exchange_degraded", self._on_exchange_degraded),
+            ("plugin_exchange_completed", self._on_exchange_completed),
         ]
         for name, fn in hooks:
             table.attach(name, Anchor.POST, fn)
@@ -115,6 +121,36 @@ class ConnectionTracer:
 
     def _on_spin(self, conn, args, result) -> None:
         self._record("transport", "spin_bit_updated", value=bool(args[0]))
+
+    def _on_plugin_fault(self, conn, args, result) -> None:
+        plugin, pluglet, failure_class, reason = args
+        self._record("pquic", "plugin_fault", plugin=plugin,
+                     pluglet=pluglet, failure_class=failure_class,
+                     reason=reason)
+
+    def _on_plugin_quarantined(self, conn, args, result) -> None:
+        plugin, crashes, until = args
+        self._record("pquic", "plugin_quarantined", plugin=plugin,
+                     crashes=crashes,
+                     quarantined_until_ms=round(until * 1000, 3))
+
+    def _on_plugin_blocklisted(self, conn, args, result) -> None:
+        self._record("pquic", "plugin_blocklisted", plugin=args[0])
+
+    def _on_exchange_retry(self, conn, args, result) -> None:
+        plugin, attempt = args
+        self._record("pquic", "plugin_exchange_retry", plugin=plugin,
+                     attempt=attempt)
+
+    def _on_exchange_degraded(self, conn, args, result) -> None:
+        plugin, reason = args
+        self._record("pquic", "plugin_exchange_degraded", plugin=plugin,
+                     reason=reason)
+
+    def _on_exchange_completed(self, conn, args, result) -> None:
+        plugin, length = args
+        self._record("pquic", "plugin_exchange_completed", plugin=plugin,
+                     compressed_length=length)
 
     # --- output ------------------------------------------------------------
 

@@ -3,9 +3,12 @@
 from .asm import AssemblyError, assemble, disassemble
 from .compiler import CompileError, PlugletCompiler, compile_pluglet
 from .interpreter import (
+    DEFAULT_FUEL,
+    DEFAULT_HELPER_BUDGET,
     HEAP_BASE,
     STACK_BASE,
     ExecutionError,
+    FuelExhausted,
     MemoryViolation,
     PluginMemory,
     VirtualMachine,
@@ -24,7 +27,10 @@ from .verifier import VerificationError, verify, verify_bytecode
 __all__ = [
     "AssemblyError",
     "CompileError",
+    "DEFAULT_FUEL",
+    "DEFAULT_HELPER_BUDGET",
     "ExecutionError",
+    "FuelExhausted",
     "HEAP_BASE",
     "INSTRUCTION_SIZE",
     "Instruction",

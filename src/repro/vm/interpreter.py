@@ -24,7 +24,7 @@ Memory layout (virtual addresses):
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Optional
 
 from .isa import (
     ALU_IMM_OPS,
@@ -46,6 +46,11 @@ from .isa import (
 STACK_BASE = 0x1000_0000
 HEAP_BASE = 0x2000_0000
 
+#: Host defaults for the runtime fuel budgets; a manifest may override
+#: them per pluglet (see :class:`repro.core.plugin.Pluglet`).
+DEFAULT_FUEL = 1_000_000
+DEFAULT_HELPER_BUDGET = 10_000
+
 
 class VmError(Exception):
     """Base class for runtime failures inside the PRE."""
@@ -61,6 +66,18 @@ class MemoryViolation(VmError):
 class ExecutionError(VmError):
     """Runtime fault other than a memory violation (bad division, budget
     exhaustion, unknown helper...)."""
+
+
+class FuelExhausted(ExecutionError):
+    """The pluglet ran out of its per-invocation fuel (instruction) or
+    helper-call budget.
+
+    Defense in depth behind the static termination checker (§2.1): even a
+    pluglet whose termination could not be proven — or whose proof was
+    wrong — is stopped after a bounded amount of work.  Unlike a
+    :class:`MemoryViolation`, fuel exhaustion is a *transient* fault: the
+    containment policy detaches and quarantines the plugin instead of
+    terminating the connection."""
 
 
 def _signed(value: int) -> int:
@@ -88,13 +105,17 @@ class VirtualMachine:
         instructions: list,
         plugin_memory: PluginMemory,
         helpers: Optional[dict] = None,
-        instruction_budget: int = 1_000_000,
+        instruction_budget: int = DEFAULT_FUEL,
+        helper_call_budget: int = DEFAULT_HELPER_BUDGET,
     ):
         self.instructions = instructions
         self.memory = plugin_memory
         self.helpers = helpers or {}
         self.instruction_budget = instruction_budget
+        self.helper_call_budget = helper_call_budget
         self.instructions_executed = 0  # cumulative across runs
+        self.helper_calls_made = 0  # cumulative across runs
+        self._helper_calls = 0  # current invocation
         #: The running invocation's stack, visible to helpers so they can
         #: resolve stack addresses a pluglet passes them.
         self.current_stack: Optional[bytearray] = None
@@ -142,22 +163,24 @@ class VirtualMachine:
         executed = 0
         previous_stack = self.current_stack
         self.current_stack = stack
+        self._helper_calls = 0
         try:
             while True:
                 if pc < 0 or pc >= n:
                     raise ExecutionError(f"pc {pc} out of program")
-                executed += 1
-                if executed > budget:
-                    raise ExecutionError(
-                        f"instruction budget exhausted ({budget})"
+                if executed >= budget:
+                    raise FuelExhausted(
+                        f"fuel budget exhausted ({budget} instructions)"
                     )
+                executed += 1
                 ins = ins_list[pc]
                 op = ins.opcode
                 if op is Op.EXIT:
-                    self.instructions_executed += executed
                     return regs[0]
                 pc = self._step(ins, op, regs, stack, pc)
         finally:
+            self.instructions_executed += executed
+            self.helper_calls_made += self._helper_calls
             self.current_stack = previous_stack
 
     def _step(self, ins, op, regs, stack, pc) -> int:
@@ -202,6 +225,12 @@ class VirtualMachine:
             helper = self.helpers.get(ins.imm)
             if helper is None:
                 raise ExecutionError(f"unknown helper id {ins.imm}")
+            if self._helper_calls >= self.helper_call_budget:
+                raise FuelExhausted(
+                    f"helper-call budget exhausted "
+                    f"({self.helper_call_budget} calls)"
+                )
+            self._helper_calls += 1
             result = helper(self, regs[1], regs[2], regs[3], regs[4], regs[5])
             regs[0] = (result or 0) & WORD_MASK
             return pc + 1

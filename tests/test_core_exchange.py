@@ -2,14 +2,16 @@
 
 import pytest
 
-from repro.core import Plugin, PluginCache, Pluglet
+from repro.core import Plugin, PluginCache, Pluglet, QuarantineRegistry
 from repro.core.exchange import (
+    PLUGIN_CHUNK,
     PluginExchanger,
     PluginFrame,
     PluginProofFrame,
     PluginValidateFrame,
     ProofEntry,
     TrustStore,
+    _IncomingPlugin,
     make_proof_provider,
 )
 from repro.netsim import Simulator, symmetric_topology
@@ -97,6 +99,160 @@ class TestFrameCodecs:
         assert parsed.proof.validator_id == "PV1"
         assert parsed.proof.str_root == signed.root
         assert parsed.proof.path.siblings == entry.path.siblings
+
+
+class TestChunkReassembly:
+    """The PLUGIN-chunk reassembly buffer must survive out-of-order,
+    duplicated and hostile chunk streams."""
+
+    def test_out_of_order_chunks_complete(self):
+        state = _IncomingPlugin(total_length=2500)
+        assert state.add_chunk(2000, b"c" * 500) == "ok"
+        assert not state.complete()
+        assert state.add_chunk(0, b"a" * 1000) == "ok"
+        assert state.add_chunk(1000, b"b" * 1000) == "ok"
+        assert state.complete()
+        assert state.assemble() == b"a" * 1000 + b"b" * 1000 + b"c" * 500
+
+    def test_exact_multiple_of_chunk_size(self):
+        """Boundary bug: a body of exactly k * PLUGIN_CHUNK bytes must
+        complete with k chunks, not wait for a phantom k+1-th."""
+        total = 2 * PLUGIN_CHUNK
+        state = _IncomingPlugin(total_length=total)
+        state.add_chunk(0, b"x" * PLUGIN_CHUNK)
+        state.add_chunk(PLUGIN_CHUNK, b"y" * PLUGIN_CHUNK)
+        assert state.complete()
+        assert len(state.assemble()) == total
+
+    def test_hole_not_masked_by_byte_count(self):
+        """Two 1000-byte chunks covering [0,1000) and [500,1500) total
+        2000 bytes but leave [1500,2000) unreceived: must NOT complete."""
+        state = _IncomingPlugin(total_length=2000)
+        state.chunks = {0: b"a" * 1000, 500: b"b" * 1000}
+        assert not state.complete()
+
+    def test_zero_length_chunk_rejected(self):
+        state = _IncomingPlugin(total_length=100)
+        assert state.add_chunk(0, b"") == "rejected"
+        assert state.chunks == {}
+
+    def test_out_of_range_chunk_rejected(self):
+        state = _IncomingPlugin(total_length=100)
+        assert state.add_chunk(50, b"z" * 100) == "rejected"
+
+    def test_identical_duplicate_tolerated(self):
+        state = _IncomingPlugin(total_length=100)
+        assert state.add_chunk(0, b"z" * 100) == "ok"
+        assert state.add_chunk(0, b"z" * 100) == "duplicate"
+        assert state.complete()
+
+    def test_conflicting_duplicate_rejected(self):
+        state = _IncomingPlugin(total_length=100)
+        assert state.add_chunk(0, b"z" * 100) == "ok"
+        assert state.add_chunk(0, b"w" * 100) == "rejected"
+        assert state.assemble() == b"z" * 100
+
+    def test_partial_overlap_rejected(self):
+        state = _IncomingPlugin(total_length=200)
+        assert state.add_chunk(0, b"a" * 100) == "ok"
+        assert state.add_chunk(50, b"b" * 100) == "rejected"
+
+    def test_unknown_total_never_complete(self):
+        state = _IncomingPlugin()
+        state.add_chunk(0, b"a" * 10)
+        assert not state.complete()
+
+    def test_integrity_check(self):
+        import hashlib
+
+        state = _IncomingPlugin(total_length=5,
+                                digest=hashlib.sha256(b"hello").digest())
+        assert state.integrity_ok(b"hello")
+        assert not state.integrity_ok(b"hellp")
+        # No digest announced -> nothing to check against.
+        assert _IncomingPlugin(total_length=5).integrity_ok(b"anything")
+
+
+class TestExchangeResilience:
+    def test_request_retries_then_degrades_when_provider_silent(self):
+        """A server with no proof provider never answers: the client
+        retries with backoff and then gives up gracefully — connection
+        alive, no plugin."""
+        plugin, repo, validators, trust = build_world(1)
+        sim = Simulator()
+        topo = symmetric_topology(sim, d_ms=10, bw_mbps=20)
+        server = ServerEndpoint(
+            sim, topo.server, "server.0", 443,
+            configuration_factory=lambda: QuicConfiguration(
+                is_client=False, plugins_to_inject=[plugin.name]),
+        )
+        # The server speaks the exchange frames but has no proof provider:
+        # every PLUGIN_VALIDATE is swallowed without an answer.
+        server.on_connection = lambda conn: PluginExchanger(
+            conn, PluginCache(), proof_provider=None)
+        client = ClientEndpoint(sim, topo.client, "client.0", 5000,
+                                "server.0", 443)
+        exchanger = PluginExchanger(client.conn, PluginCache(), trust=trust,
+                                    formula="PV1", request_timeout=0.2,
+                                    max_retries=2)
+        client.connect()
+        assert sim.run_until(lambda: plugin.name in exchanger.degraded,
+                             timeout=30)
+        assert not client.conn.closed
+        assert exchanger.received == []
+        assert exchanger.stats["retries"] == 2
+        assert "no response" in exchanger.degraded[plugin.name]
+
+    def test_proof_digest_announced_and_verified(self):
+        plugin, repo, validators, trust = build_world(1)
+        sim, client, exchanger, cache = connect_with_exchange(
+            plugin, repo, validators, trust, "PV1")
+        assert exchanger.received == [plugin.name]
+        assert exchanger.stats["integrity_failures"] == 0
+
+    def test_digest_mismatch_discards_chunks(self):
+        """A reassembled body that does not hash to the announced digest
+        is thrown away (and the transfer stays pending for retry)."""
+        conn_stub = None
+        exchanger = object.__new__(PluginExchanger)  # skip connection wiring
+        exchanger.stats = {"integrity_failures": 0, "chunks_rejected": 0,
+                           "chunks_duplicated": 0}
+        exchanger.pending = {}
+        exchanger.rejected = {}
+        exchanger.degraded = {}
+        exchanger._incoming = {}
+        state = _IncomingPlugin(total_length=4, digest=b"\x00" * 32)
+        state.add_chunk(0, b"zzzz")
+        exchanger._incoming["org.x.p"] = state
+        exchanger._maybe_finish("org.x.p")
+        assert exchanger.stats["integrity_failures"] == 1
+        assert state.chunks == {}  # cleared for re-request
+        assert "org.x.p" in exchanger._incoming
+
+    def test_quarantined_plugin_not_injected_degrades_instead(self):
+        """negotiate() skips a quarantined cached plugin instead of
+        blowing up the connection."""
+        plugin, repo, validators, trust = build_world(1)
+        registry = QuarantineRegistry(blocklist_threshold=1)
+        registry.record_crash(plugin.name, now=0.0)
+        sim = Simulator()
+        topo = symmetric_topology(sim, d_ms=10, bw_mbps=20)
+        client_cache = PluginCache(quarantine=registry)
+        client_cache.store(plugin)
+        server = ServerEndpoint(
+            sim, topo.server, "server.0", 443,
+            configuration_factory=lambda: QuicConfiguration(
+                is_client=False, plugins_to_inject=[plugin.name]),
+        )
+        client = ClientEndpoint(sim, topo.client, "client.0", 5000,
+                                "server.0", 443)
+        exchanger = PluginExchanger(client.conn, client_cache, trust=trust)
+        client.connect()
+        assert sim.run_until(lambda: plugin.name in exchanger.degraded,
+                             timeout=10)
+        assert exchanger.injected == []
+        assert not client.conn.closed
+        assert "blocklisted" in exchanger.degraded[plugin.name]
 
 
 class TestExchange:

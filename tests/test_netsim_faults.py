@@ -1,0 +1,265 @@
+"""Deterministic fault injection: unit behaviour of FaultInjector and the
+chaos acceptance test — plugin exchange under corruption + reordering +
+a mid-transfer link flap completes (or degrades) identically across two
+same-seed runs, and never hangs or closes the connection.
+"""
+
+import pytest
+
+from repro.core import Plugin, PluginCache, Pluglet
+from repro.core.exchange import PLUGIN_CHUNK, PluginExchanger, make_proof_provider
+from repro.netsim import (
+    Datagram,
+    FaultInjector,
+    Pipe,
+    Simulator,
+    symmetric_topology,
+)
+from repro.quic import ClientEndpoint, QuicConfiguration, ServerEndpoint
+from repro.quic.connection import reset_instance_counter
+
+from repro.vm import assemble
+
+from .test_core_exchange import build_world
+
+
+def big_plugin(name="org.x.chaos", pluglets=200):
+    """A plugin whose compressed binding spans several PLUGIN chunks:
+    per-pluglet pseudo-random immediates defeat zlib."""
+    made = []
+    for i in range(pluglets):
+        source = "\n".join(
+            f"lddw r{j % 5}, {((i * 8 + j) * 0x9E3779B97F4A7C15) & 0xFFFFFFFFFFFF}"
+            for j in range(8)
+        ) + "\nmov r0, 0\nexit"
+        made.append(Pluglet(f"n{i}", "packet_sent_event", "post",
+                            assemble(source)))
+    plugin = Plugin(name, made)
+    assert len(plugin.compressed()) > 3 * PLUGIN_CHUNK
+    return plugin
+
+
+def dgram(payload=b"x" * 100, seq=0):
+    return Datagram("a", 1, "b", 2, payload, hops=seq)
+
+
+def collector_pipe(sim, delay=0.01, bandwidth=8_000_000.0):
+    pipe = Pipe(sim, delay, bandwidth)
+    out = []
+    pipe.connect(lambda p: out.append((sim.now, p)))
+    return pipe, out
+
+
+class TestFaultInjectorUnits:
+    def test_corruption_flips_exactly_one_byte(self):
+        sim = Simulator()
+        pipe, out = collector_pipe(sim)
+        FaultInjector(sim, seed=1, corrupt_rate=1.0).inject(pipe)
+        original = bytes(range(100))
+        pipe.send(dgram(original), 100)
+        sim.run()
+        assert len(out) == 1
+        delivered = out[0][1].payload
+        assert delivered != original
+        assert len(delivered) == len(original)
+        assert sum(a != b for a, b in zip(original, delivered)) == 1
+
+    def test_corruption_does_not_mutate_senders_copy(self):
+        sim = Simulator()
+        pipe, out = collector_pipe(sim)
+        FaultInjector(sim, seed=1, corrupt_rate=1.0).inject(pipe)
+        packet = dgram(bytes(50))
+        pipe.send(packet, 50)
+        sim.run()
+        assert packet.payload == bytes(50)  # a corrupted *copy* travels
+
+    def test_duplication_delivers_twice(self):
+        sim = Simulator()
+        pipe, out = collector_pipe(sim)
+        injector = FaultInjector(sim, seed=1, duplicate_rate=1.0)
+        injector.inject(pipe)
+        pipe.send(dgram(), 100)
+        sim.run()
+        assert len(out) == 2
+        assert injector.stats.duplicated == 1
+
+    def test_reordering_lets_later_packets_overtake(self):
+        sim = Simulator()
+        pipe, out = collector_pipe(sim)
+        injector = FaultInjector(sim, seed=3, reorder_rate=0.3,
+                                 reorder_delay=0.2)
+        injector.inject(pipe)
+        for seq in range(30):
+            sim.schedule(seq * 0.001, pipe.send, dgram(seq=seq), 100)
+        sim.run()
+        assert len(out) == 30  # nothing lost, only displaced
+        order = [p.hops for _, p in out]
+        assert order != sorted(order)
+        assert injector.stats.reordered > 0
+
+    def test_flap_blackholes_scheduled_window(self):
+        sim = Simulator()
+        pipe, out = collector_pipe(sim, delay=0.001)
+        injector = FaultInjector(sim, seed=1)
+        injector.inject(pipe)
+        injector.schedule_flap(down_at=1.0, duration=1.0)
+        for t in (0.5, 1.5, 2.5):  # before, during, after
+            sim.schedule(t, pipe.send, dgram(seq=int(t * 10)), 100)
+        sim.run()
+        assert [p.hops for _, p in out] == [5, 25]
+        assert injector.stats.dropped_down == 1
+        assert injector.stats.flaps == 1
+
+    def test_injection_before_connect(self):
+        """Wrapping must also catch pipes connected after inject()."""
+        sim = Simulator()
+        pipe = Pipe(sim, 0.001, 8_000_000.0)
+        injector = FaultInjector(sim, seed=1, duplicate_rate=1.0)
+        injector.inject(pipe)
+        out = []
+        pipe.connect(lambda p: out.append(p))
+        pipe.send(dgram(), 100)
+        sim.run()
+        assert len(out) == 2
+
+    def test_same_seed_same_fault_pattern(self):
+        def run(seed):
+            sim = Simulator()
+            pipe, out = collector_pipe(sim)
+            injector = FaultInjector(sim, seed=seed, corrupt_rate=0.2,
+                                     duplicate_rate=0.2, reorder_rate=0.2)
+            injector.inject(pipe)
+            for seq in range(50):
+                sim.schedule(seq * 0.001, pipe.send, dgram(seq=seq), 100)
+            sim.run()
+            return injector.stats.as_dict(), [(t, p.hops) for t, p in out]
+
+        assert run(42) == run(42)
+        assert run(42) != run(43)
+
+    def test_fault_streams_independent(self):
+        """Enabling duplication must not change which packets corrupt."""
+        def corrupted_seqs(duplicate_rate):
+            sim = Simulator()
+            pipe, out = collector_pipe(sim)
+            injector = FaultInjector(sim, seed=9, corrupt_rate=0.3,
+                                     duplicate_rate=duplicate_rate)
+            injector.inject(pipe)
+            for seq in range(40):
+                payload = bytes([seq]) * 20
+                sim.schedule(seq * 0.001, pipe.send,
+                             dgram(payload=payload, seq=seq), 100)
+            sim.run()
+            return {p.hops for _, p in out if p.payload != bytes([p.hops]) * 20}
+
+        assert corrupted_seqs(0.0) == corrupted_seqs(0.9)
+
+    def test_invalid_rates_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            FaultInjector(sim, corrupt_rate=1.5)
+        with pytest.raises(ValueError):
+            FaultInjector(sim, reorder_delay=-1)
+        with pytest.raises(ValueError):
+            FaultInjector(sim).schedule_flap(1.0, 0.0)
+
+
+def run_chaos_exchange(seed):
+    """One full client/server exchange over a hostile path 1."""
+    reset_instance_counter()
+    plugin, repo, validators, trust = build_world(1, plugin=big_plugin())
+    sim = Simulator()
+    topo = symmetric_topology(sim, d_ms=10, bw_mbps=20, seed=seed)
+    injector = FaultInjector(sim, seed=seed, corrupt_rate=0.15,
+                             duplicate_rate=0.05,
+                             reorder_rate=0.10, reorder_delay=0.03)
+    injector.inject_link(topo.path_links[0])
+    # One link flap right as the plugin transfer gets going.
+    injector.schedule_flap(down_at=0.05, duration=0.3)
+    server_cache = PluginCache()
+    server_cache.store(plugin)
+    provider = make_proof_provider(repo, validators)
+    server = ServerEndpoint(
+        sim, topo.server, "server.0", 443,
+        configuration_factory=lambda: QuicConfiguration(
+            is_client=False, plugins_to_inject=[plugin.name]),
+    )
+    server.on_connection = lambda conn: PluginExchanger(
+        conn, server_cache, proof_provider=provider)
+    client = ClientEndpoint(sim, topo.client, "client.0", 5000,
+                            "server.0", 443)
+    cache = PluginCache()
+    exchanger = PluginExchanger(client.conn, cache, trust=trust,
+                                formula="PV1")
+    client.connect()
+    settled = sim.run_until(
+        lambda: bool(exchanger.received)
+        or plugin.name in exchanger.degraded
+        or client.conn.closed,
+        timeout=60,
+    )
+    return {
+        "settled": settled,
+        "received": list(exchanger.received),
+        "degraded": sorted(exchanger.degraded),
+        "conn_closed": client.conn.closed,
+        "cached": cache.has(plugin.name),
+        "exchange_stats": dict(exchanger.stats),
+        "fault_stats": injector.stats.as_dict(),
+        "settle_time": round(sim.now, 9),
+    }
+
+
+class TestChaosExchange:
+    def test_exchange_completes_or_degrades_never_hangs(self):
+        outcome = run_chaos_exchange(seed=7)
+        # The exchange must settle: either the plugin arrived and was
+        # cached, or the exchanger gave up gracefully.  The connection
+        # itself must survive the chaos either way.
+        assert outcome["settled"]
+        assert not outcome["conn_closed"]
+        assert outcome["received"] or outcome["degraded"]
+        if outcome["received"]:
+            assert outcome["cached"]
+        # The chaos actually happened.
+        assert outcome["fault_stats"]["corrupted"] > 0
+        assert outcome["fault_stats"]["flaps"] == 1
+
+    def test_same_seed_runs_identically(self):
+        assert run_chaos_exchange(seed=7) == run_chaos_exchange(seed=7)
+
+    def test_different_seed_differs(self):
+        # Coarse outcomes may coincide; the fault pattern must not.
+        a = run_chaos_exchange(seed=7)
+        b = run_chaos_exchange(seed=8)
+        assert a["fault_stats"] != b["fault_stats"]
+
+    def test_exchange_retries_observable(self):
+        """A flap long enough to outlast the first request timeout makes
+        the exchanger retry; the retry counter records it."""
+        reset_instance_counter()
+        plugin, repo, validators, trust = build_world(1)
+        sim = Simulator()
+        topo = symmetric_topology(sim, d_ms=10, bw_mbps=20)
+        injector = FaultInjector(sim, seed=3)
+        injector.inject_link(topo.path_links[0])
+        injector.schedule_flap(down_at=0.03, duration=1.5)
+        server_cache = PluginCache()
+        server_cache.store(plugin)
+        provider = make_proof_provider(repo, validators)
+        server = ServerEndpoint(
+            sim, topo.server, "server.0", 443,
+            configuration_factory=lambda: QuicConfiguration(
+                is_client=False, plugins_to_inject=[plugin.name]),
+        )
+        server.on_connection = lambda conn: PluginExchanger(
+            conn, server_cache, proof_provider=provider)
+        client = ClientEndpoint(sim, topo.client, "client.0", 5000,
+                                "server.0", 443)
+        exchanger = PluginExchanger(client.conn, PluginCache(), trust=trust,
+                                    formula="PV1")
+        client.connect()
+        assert sim.run_until(
+            lambda: bool(exchanger.received) or bool(exchanger.degraded),
+            timeout=60)
+        assert exchanger.stats["retries"] > 0

@@ -119,6 +119,56 @@ def test_runaway_guard():
         sim.run(max_events=1000)
 
 
+def test_runaway_guard_message_is_diagnostic():
+    """The error must say when the simulation was stuck and how much work
+    was still queued, not just that it stopped."""
+    sim = Simulator()
+
+    def loop():
+        sim.schedule(0.25, loop)
+
+    sim.schedule(0.0, loop)
+    with pytest.raises(RuntimeError) as err:
+        sim.run(max_events=100)
+    msg = str(err.value)
+    assert "100 events" in msg
+    assert "t=" in msg
+    assert "pending" in msg
+
+
+def test_runaway_guard_warn_mode_keeps_state():
+    sim = Simulator()
+
+    def loop():
+        sim.schedule(0.5, loop)
+
+    sim.schedule(0.0, loop)
+    with pytest.warns(RuntimeWarning, match="exceeded 10 events"):
+        sim.run(max_events=10, on_max_events="warn")
+    # The stuck state is inspectable instead of torn down.
+    assert sim.pending() == 1
+    assert sim.now == pytest.approx(4.5)
+
+
+def test_runaway_guard_warn_mode_run_until():
+    sim = Simulator()
+
+    def loop():
+        sim.schedule(0.5, loop)
+
+    sim.schedule(0.0, loop)
+    with pytest.warns(RuntimeWarning):
+        ok = sim.run_until(lambda: False, max_events=10,
+                           on_max_events="warn")
+    assert not ok
+
+
+def test_invalid_on_max_events_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.run(on_max_events="explode")
+
+
 def test_step_single_event():
     sim = Simulator()
     fired = []

@@ -7,6 +7,7 @@ from repro.vm import (
     STACK_BASE,
     STACK_SIZE,
     ExecutionError,
+    FuelExhausted,
     MemoryViolation,
     PluginMemory,
     VirtualMachine,
@@ -192,10 +193,58 @@ class TestBudget:
         with pytest.raises(ExecutionError, match="budget"):
             run("top:\nja top\nexit", budget=10_000)
 
+    def test_fuel_exhaustion_is_typed(self):
+        """The runaway guard raises the dedicated FuelExhausted error (a
+        subclass of ExecutionError) so containment can classify it."""
+        with pytest.raises(FuelExhausted):
+            run("top:\nja top\nexit", budget=100)
+
     def test_instruction_count_recorded(self):
         vm = VirtualMachine(assemble("mov r0, 1\nexit"), PluginMemory())
         vm.run()
         assert vm.instructions_executed == 2
+
+    def test_instructions_accounted_even_on_fuel_exhaustion(self):
+        vm = VirtualMachine(assemble("top:\nja top\nexit"), PluginMemory(),
+                            instruction_budget=100)
+        with pytest.raises(FuelExhausted):
+            vm.run()
+        assert vm.instructions_executed == 100
+
+    def test_helper_call_budget_independent_of_instructions(self):
+        """A pluglet hammering helpers is stopped by the helper-call
+        budget long before the instruction budget."""
+        calls = []
+        src = """
+            mov r6, 1000
+        top:
+            call 1
+            sub r6, 1
+            jne r6, 0, top
+            mov r0, 0
+            exit
+        """
+        vm = VirtualMachine(
+            assemble(src), PluginMemory(),
+            helpers={1: lambda vm, *a: calls.append(1)},
+            instruction_budget=1_000_000, helper_call_budget=10,
+        )
+        with pytest.raises(FuelExhausted, match="helper-call budget"):
+            vm.run()
+        # The 11th call trips the budget before the helper itself runs.
+        assert len(calls) == 10
+        assert vm.helper_calls_made == 10
+
+    def test_helper_budget_resets_between_invocations(self):
+        src = "call 1\ncall 1\nexit"
+        vm = VirtualMachine(
+            assemble(src), PluginMemory(),
+            helpers={1: lambda vm, *a: 0},
+            helper_call_budget=2,
+        )
+        vm.run()
+        vm.run()  # would fault if helper calls accumulated across runs
+        assert vm.helper_calls_made == 4
 
     def test_too_many_args_rejected(self):
         vm = VirtualMachine(assemble("exit"), PluginMemory())
