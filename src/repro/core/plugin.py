@@ -32,6 +32,7 @@ from repro.vm.interpreter import (
     VirtualMachine,
 )
 from repro.vm.isa import decode_program, encode_program
+from repro.vm.jit import create_vm
 from repro.vm.verifier import VerificationError, verify
 
 from .api import CORE_HELPER_NAMES, ApiViolation, InvocationContext, PluginApi
@@ -320,7 +321,9 @@ class PluginInstance:
         self.vms: dict[str, VirtualMachine] = {}
         self._attached: list = []  # (protoop, anchor, func, param)
         for p in plugin.pluglets:
-            self.vms[p.name] = VirtualMachine(
+            # JIT-compiled PRE with automatic interpreter fallback (the
+            # paper JITs pluglet bytecode; see repro/vm/jit.py).
+            self.vms[p.name] = create_vm(
                 p.instructions, self.runtime.memory, helpers=helper_table,
                 instruction_budget=p.fuel or DEFAULT_FUEL,
                 helper_call_budget=p.helper_budget or DEFAULT_HELPER_BUDGET,

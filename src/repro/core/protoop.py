@@ -76,6 +76,30 @@ class ProtoopTable:
         self._ops: dict[str, ProtocolOperation] = {}
         self._call_stack: list[tuple[str, Any]] = []
         self.runs = 0  # total protoop invocations (monitoring/benchmarks)
+        #: Dispatch cache: (name, param) -> flat call plan
+        #: (op, key, pre tuple, behavior, post tuple).  Invalidated as a
+        #: whole whenever any anchor changes (register/attach/detach), so
+        #: the common no-plugin dispatch is a single dict hit instead of
+        #: per-call anchor resolution.
+        self._plans: dict = {}
+        self._params_cache: dict[str, frozenset] = {}
+        self._epoch = 0  # bumped on every invalidation
+        self.plan_builds = 0  # cache fills (tests/monitoring)
+
+    def _invalidate(self) -> None:
+        """Drop every cached call plan (an anchor or default changed)."""
+        self._epoch += 1
+        self._plans.clear()
+        self._params_cache.clear()
+
+    def _build_plan(self, name: str, param: Any) -> tuple:
+        op = self.get(name)
+        key = param if op.parameterized else None
+        plan = (op, key, tuple(op.pre.get(key, ())), op.behavior(key),
+                tuple(op.post.get(key, ())))
+        self._plans[(name, param)] = plan
+        self.plan_builds += 1
+        return plan
 
     # --- registration -----------------------------------------------------
 
@@ -112,6 +136,7 @@ class ProtoopTable:
             if key in op.defaults:
                 raise ValueError(f"protoop {name}[{param}] already has a default")
             op.defaults[key] = func
+        self._invalidate()
         return op
 
     def declare(self, name: str, parameterized: bool = False, doc: str = "") -> ProtocolOperation:
@@ -171,6 +196,7 @@ class ProtoopTable:
             op.pre.setdefault(key, []).append(func)
         else:
             op.post.setdefault(key, []).append(func)
+        self._invalidate()
 
     def detach(self, name: str, anchor: Anchor, func: Callable, param: Any = None) -> None:
         op = self._ops.get(name)
@@ -186,8 +212,25 @@ class ProtoopTable:
         else:
             if key in op.post and func in op.post[key]:
                 op.post[key].remove(func)
+        self._invalidate()
 
     # --- dispatch ----------------------------------------------------------
+
+    def known_params(self, name: str) -> frozenset:
+        """Cached ``op.params()`` — the per-call set construction on frame
+        dispatch paths is replaced by one dict hit."""
+        params = self._params_cache.get(name)
+        if params is None:
+            params = frozenset(self.get(name).params())
+            self._params_cache[name] = params
+        return params
+
+    def has_behavior(self, name: str, param: Any = None) -> bool:
+        """Cached ``op.behavior(param) is not None``."""
+        plan = self._plans.get((name, param))
+        if plan is None:
+            plan = self._build_plan(name, param)
+        return plan[3] is not None
 
     def run(self, conn, name: str, param: Any = None, *args: Any, _from_app: bool = False) -> Any:
         """Invoke a protoop: pre anchors, behaviour, post anchors.
@@ -195,13 +238,16 @@ class ProtoopTable:
         Raises :class:`ProtoopError` on re-entry (call-graph loop, Fig. 3)
         or when an external operation is invoked from within the protocol.
         """
-        op = self.get(name)
+        epoch = self._epoch
+        plan = self._plans.get((name, param))
+        if plan is None:
+            plan = self._build_plan(name, param)
+        op, key, pre_chain, behavior, post_chain = plan
         if op.external and not _from_app:
             raise ProtoopError(
                 TransportErrorCode.PROTOCOL_VIOLATION,
                 f"external protoop {name!r} called from protocol code",
             )
-        key = param if op.parameterized else None
         frame_key = (name, key)
         if frame_key in self._call_stack:
             raise ProtoopError(
@@ -211,13 +257,18 @@ class ProtoopTable:
         self._call_stack.append(frame_key)
         self.runs += 1
         try:
-            # Iterate over copies: a failing pluglet may detach its plugin
-            # (and thus mutate these lists) mid-run.
-            for observer in tuple(op.pre.get(key, ())):  # passive, read-only
+            # The plan snapshots are exactly the copies the uncached
+            # dispatcher iterated over; if a failing pluglet detaches its
+            # plugin mid-run the epoch moves and we re-resolve the stale
+            # parts, matching the uncached anchor-by-anchor timeline.
+            for observer in pre_chain:  # passive, read-only
                 observer(conn, args)
-            behavior = op.behavior(key)
+            if self._epoch != epoch:
+                behavior = op.behavior(key)
             result = behavior(conn, *args) if behavior is not None else None
-            for observer in tuple(op.post.get(key, ())):
+            if self._epoch != epoch:
+                post_chain = tuple(op.post.get(key, ()))
+            for observer in post_chain:
                 observer(conn, args, result)
             return result
         finally:

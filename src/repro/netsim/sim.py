@@ -21,18 +21,25 @@ class Event:
     scheduling order, which keeps runs fully deterministic.
     """
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "_sim", "_queued")
 
-    def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: tuple):
+    def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: tuple,
+                 sim: Optional["Simulator"] = None):
         self.time = time
         self.seq = seq
         self.fn = fn
         self.args = args
         self.cancelled = False
+        self._sim = sim  # owner, notified on cancel for O(1) accounting
+        self._queued = False
 
     def cancel(self) -> None:
         """Prevent the event from firing. Safe to call more than once."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self._sim is not None and self._queued:
+            self._sim._on_cancel()
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
@@ -57,13 +64,17 @@ class Simulator:
         self._queue: list[Event] = []
         self._seq = itertools.count()
         self._running = False
+        self._live = 0  # non-cancelled events currently queued
+        self._cancelled = 0  # cancelled events awaiting lazy deletion
 
     def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> Event:
         """Schedule ``fn(*args)`` to run ``delay`` seconds from now."""
         if delay < 0:
             raise ValueError(f"negative delay: {delay}")
-        ev = Event(self.now + delay, next(self._seq), fn, args)
+        ev = Event(self.now + delay, next(self._seq), fn, args, sim=self)
+        ev._queued = True
         heapq.heappush(self._queue, ev)
+        self._live += 1
         return ev
 
     def schedule_at(self, time: float, fn: Callable[..., Any], *args: Any) -> Event:
@@ -71,19 +82,45 @@ class Simulator:
         return self.schedule(max(0.0, time - self.now), fn, *args)
 
     def pending(self) -> int:
-        """Number of non-cancelled events still queued."""
-        return sum(1 for ev in self._queue if not ev.cancelled)
+        """Number of non-cancelled events still queued (O(1))."""
+        return self._live
 
-    def step(self) -> bool:
-        """Run the next event. Returns False when the queue is empty."""
+    def _on_cancel(self) -> None:
+        """Counter upkeep when a queued event is cancelled; compacts the
+        heap once cancelled entries outnumber live ones."""
+        self._live -= 1
+        self._cancelled += 1
+        if self._cancelled * 2 > len(self._queue) and len(self._queue) > 8:
+            self._queue = [ev for ev in self._queue if not ev.cancelled]
+            heapq.heapify(self._queue)
+            self._cancelled = 0
+
+    def _pop(self) -> Optional[Event]:
+        """Pop the next live event, dropping lazily-deleted entries."""
         while self._queue:
             ev = heapq.heappop(self._queue)
             if ev.cancelled:
+                self._cancelled -= 1
                 continue
-            self.now = ev.time
-            ev.fn(*ev.args)
-            return True
-        return False
+            ev._queued = False
+            self._live -= 1
+            return ev
+        return None
+
+    def _push_back(self, ev: Event) -> None:
+        """Requeue a popped-but-not-yet-due event (run/run_until cutoffs)."""
+        ev._queued = True
+        self._live += 1
+        heapq.heappush(self._queue, ev)
+
+    def step(self) -> bool:
+        """Run the next event. Returns False when the queue is empty."""
+        ev = self._pop()
+        if ev is None:
+            return False
+        self.now = ev.time
+        ev.fn(*ev.args)
+        return True
 
     def _on_limit(self, max_events: int, on_max_events: str) -> None:
         """Report hitting the runaway guard with enough context to debug
@@ -116,15 +153,14 @@ class Simulator:
             raise ValueError(f"on_max_events must be 'raise' or 'warn', "
                              f"got {on_max_events!r}")
         count = 0
-        while self._queue:
-            ev = self._queue[0]
-            if ev.cancelled:
-                heapq.heappop(self._queue)
-                continue
+        while True:
+            ev = self._pop()
+            if ev is None:
+                break
             if until is not None and ev.time > until:
+                self._push_back(ev)
                 self.now = until
                 return
-            heapq.heappop(self._queue)
             self.now = ev.time
             ev.fn(*ev.args)
             count += 1
@@ -153,13 +189,13 @@ class Simulator:
         count = 0
         if predicate():
             return True
-        while self._queue:
-            ev = heapq.heappop(self._queue)
-            if ev.cancelled:
-                continue
+        while True:
+            ev = self._pop()
+            if ev is None:
+                break
             if ev.time > deadline:
                 # Put it back: the caller may keep running later.
-                heapq.heappush(self._queue, ev)
+                self._push_back(ev)
                 self.now = deadline
                 return predicate()
             self.now = ev.time

@@ -199,6 +199,9 @@ class QuicConnection:
         #: Additional local addresses a multipath plugin may open paths on.
         self.extra_local_addresses: list = []
 
+        # Reusable per-packet encode buffer (cleared before each use).
+        self._payload_buf = Buffer()
+
         # Statistics (read by the monitoring plugin through get/set API).
         self.stats = {
             "packets_sent": 0,
@@ -878,13 +881,13 @@ class QuicConnection:
         ctx = {"epoch": epoch, "path_index": path_index, "packet_number": pn}
         ack_eliciting = False
         decoded = []
-        parse_op = self.protoops.get("parse_frame")
+        table = self.protoops
         while not buf.eof():
             frame_type = buf.pull_varint()
             param = self._frame_param(frame_type)
-            if parse_op.behavior(param) is None:
+            if not table.has_behavior("parse_frame", param):
                 param = "default"
-            frame = self.protoops.run(self, "parse_frame", param, buf, frame_type)
+            frame = table.run(self, "parse_frame", param, buf, frame_type)
             decoded.append((frame_type, frame))
         if not space.record_received(pn, self.now, False):
             self.stats["spurious_received"] += 1
@@ -894,10 +897,9 @@ class QuicConnection:
             if frame.ack_eliciting:
                 ack_eliciting = True
             param = self._frame_param(frame_type)
-            op = self.protoops.get("process_frame")
-            if param not in op.params():
+            if param not in table.known_params("process_frame"):
                 raise ProtocolViolation(f"no processor for frame 0x{frame_type:x}")
-            self.protoops.run(self, "process_frame", param, frame, ctx)
+            table.run(self, "process_frame", param, frame, ctx)
         if ack_eliciting:
             space.ack_needed = True
         self.protoops.run(self, "frames_decoded", None, epoch, path_index, pn, decoded)
@@ -1033,7 +1035,8 @@ class QuicConnection:
         )
         if not frames:
             return None
-        payload = Buffer()
+        payload = self._payload_buf
+        payload.clear()
         for frame in frames:
             self.protoops.run(
                 self, "write_frame",
@@ -1045,9 +1048,8 @@ class QuicConnection:
         )
 
     def _write_param(self, frame: F.Frame) -> Any:
-        op = self.protoops.get("write_frame")
         param = self._frame_param(frame.type)
-        if param in op.params():
+        if param in self.protoops.known_params("write_frame"):
             return param
         return "default"
 

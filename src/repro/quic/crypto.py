@@ -59,23 +59,68 @@ def _xor(data: bytes, keystream: bytes) -> bytes:
     return n.to_bytes(len(data), "big")
 
 
+_NONCE_LEN_PREFIX = (8).to_bytes(4, "big")
+
+#: Keystream blocks cached per (context, nonce); bounded so a long-lived
+#: connection cannot grow without limit (cleared wholesale when full).
+_BLOCK_CACHE_LIMIT = 1024
+
+
 class AeadContext:
-    """Seals/opens packet payloads for one direction of one epoch."""
+    """Seals/opens packet payloads for one direction of one epoch.
+
+    Fast path: the SHA-256 state over the (length-prefixed) key is computed
+    once per context and ``copy()``-ed per packet, so the per-packet work
+    feeds only the nonce — and the same nonce state then continues into the
+    tag computation, sharing the prefix between keystream and tag.  The
+    resulting bytes are identical to ``_keystream``/``_hash``.
+    """
 
     def __init__(self, key: bytes):
         if len(key) < 16:
             raise ValueError("key too short")
         self.key = key
+        state = hashlib.sha256()
+        state.update(len(key).to_bytes(4, "big"))
+        state.update(key)
+        self._key_state = state
+        self._block_cache: dict = {}  # nonce -> 32-byte keystream block
 
     def _nonce(self, packet_number: int) -> bytes:
         return packet_number.to_bytes(8, "big")
 
+    def _nonce_state(self, nonce: bytes):
+        state = self._key_state.copy()
+        state.update(_NONCE_LEN_PREFIX)
+        state.update(nonce)
+        return state
+
+    def _block(self, nonce: bytes, state) -> bytes:
+        block = self._block_cache.get(nonce)
+        if block is None:
+            if len(self._block_cache) >= _BLOCK_CACHE_LIMIT:
+                self._block_cache.clear()
+            block = state.digest()  # == _hash(key, nonce)
+            self._block_cache[nonce] = block
+        return block
+
+    def _tag(self, state, header: bytes, plaintext: bytes) -> bytes:
+        state.update(len(header).to_bytes(4, "big"))
+        state.update(header)
+        state.update(len(plaintext).to_bytes(4, "big"))
+        state.update(plaintext)
+        return state.digest()[:TAG_LENGTH]
+
     def seal(self, packet_number: int, header: bytes, plaintext: bytes) -> bytes:
         """Encrypt ``plaintext``, authenticating ``header`` as AD."""
         nonce = self._nonce(packet_number)
-        cipher = _xor(plaintext, _keystream(self.key, nonce, len(plaintext)))
-        tag = _hash(self.key, nonce, header, plaintext)[:TAG_LENGTH]
-        return cipher + tag
+        state = self._nonce_state(nonce)
+        block = self._block(nonce, state)
+        length = len(plaintext)
+        keystream = block if length <= len(block) \
+            else block * (length // len(block) + 1)
+        cipher = _xor(plaintext, keystream)
+        return cipher + self._tag(state, header, plaintext)
 
     def open(self, packet_number: int, header: bytes, ciphertext: bytes) -> bytes:
         """Decrypt and verify; raises CryptoError on any mismatch."""
@@ -83,8 +128,13 @@ class AeadContext:
             raise CryptoError("ciphertext shorter than tag")
         nonce = self._nonce(packet_number)
         cipher, tag = ciphertext[:-TAG_LENGTH], ciphertext[-TAG_LENGTH:]
-        plaintext = _xor(cipher, _keystream(self.key, nonce, len(cipher)))
-        expected = _hash(self.key, nonce, header, plaintext)[:TAG_LENGTH]
+        state = self._nonce_state(nonce)
+        block = self._block(nonce, state)
+        length = len(cipher)
+        keystream = block if length <= len(block) \
+            else block * (length // len(block) + 1)
+        plaintext = _xor(cipher, keystream)
+        expected = self._tag(state, header, plaintext)
         if not hmac.compare_digest(tag, expected):
             raise CryptoError("AEAD tag mismatch")
         return plaintext

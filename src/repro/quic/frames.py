@@ -447,8 +447,16 @@ class FrameRegistry:
         return out
 
 
-def serialize_frames(frames: list) -> bytes:
-    buf = Buffer()
+def serialize_frames(frames: list, out: Optional[Buffer] = None) -> bytes:
+    """Serialize frames back-to-back.
+
+    Pass a reusable ``out`` buffer (cleared first) to skip the per-call
+    allocation on hot encode paths.
+    """
+    if out is None:
+        out = Buffer()
+    else:
+        out.clear()
     for f in frames:
-        f.serialize(buf)
-    return buf.data()
+        f.serialize(out)
+    return out.data()

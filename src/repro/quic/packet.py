@@ -16,7 +16,7 @@ from typing import Optional
 
 from .crypto import AeadContext
 from .errors import FrameEncodingError, ProtocolViolation
-from .wire import Buffer
+from .wire import Buffer, encode_varint
 
 QUIC_VERSION = 0xFF00000E  # draft-14
 
@@ -26,6 +26,11 @@ SPIN_BIT = 0x20
 LONG_TYPE_INITIAL = 0x00
 LONG_TYPE_HANDSHAKE = 0x10
 PN_WIRE_BYTES = 4
+
+#: Memoized short-header prefix splits: raw (flags + CID) bytes ->
+#: (destination_cid, spin_bit).  Bounded and cleared wholesale when full.
+_SHORT_PREFIX_CACHE: dict = {}
+_SHORT_PREFIX_CACHE_LIMIT = 4096
 
 
 class PacketType(enum.Enum):
@@ -94,21 +99,21 @@ def encode_long_header(
 ) -> bytes:
     if packet_type not in (PacketType.INITIAL, PacketType.HANDSHAKE):
         raise ValueError(f"not a long-header type: {packet_type}")
-    buf = Buffer()
     flags = FORM_LONG | FIXED_BIT
     flags |= LONG_TYPE_INITIAL if packet_type is PacketType.INITIAL else LONG_TYPE_HANDSHAKE
-    buf.push_uint8(flags)
-    buf.push_uint32(version)
-    buf.push_uint8(len(destination_cid))
-    buf.push_bytes(destination_cid)
-    buf.push_uint8(len(source_cid))
-    buf.push_bytes(source_cid)
+    out = bytearray()
+    out.append(flags)
+    out += (version & 0xFFFFFFFF).to_bytes(4, "big")
+    out.append(len(destination_cid))
+    out += destination_cid
+    out.append(len(source_cid))
+    out += source_cid
     if packet_type is PacketType.INITIAL:
-        buf.push_varint(len(token))
-        buf.push_bytes(token)
-    buf.push_varint(payload_length + PN_WIRE_BYTES)
-    buf.push_bytes(encode_packet_number(packet_number))
-    return buf.data()
+        out += encode_varint(len(token))
+        out += token
+    out += encode_varint(payload_length + PN_WIRE_BYTES)
+    out += encode_packet_number(packet_number)
+    return bytes(out)
 
 
 def encode_short_header(
@@ -116,12 +121,9 @@ def encode_short_header(
     packet_number: int,
     spin_bit: bool = False,
 ) -> bytes:
-    buf = Buffer()
     flags = FIXED_BIT | (SPIN_BIT if spin_bit else 0)
-    buf.push_uint8(flags)
-    buf.push_bytes(destination_cid)
-    buf.push_bytes(encode_packet_number(packet_number))
-    return buf.data()
+    return (bytes((flags,)) + destination_cid
+            + encode_packet_number(packet_number))
 
 
 def parse_header(buf: Buffer, local_cid_length: int) -> tuple[PacketHeader, int]:
@@ -162,13 +164,22 @@ def parse_header(buf: Buffer, local_cid_length: int) -> tuple[PacketHeader, int]
             packet_number=pn,
         )
         return header, length - PN_WIRE_BYTES
-    # Short header.
-    dcid = buf.pull_bytes(local_cid_length)
+    # Short header.  A receiver sees the same (flags, destination CID)
+    # prefix on almost every 1-RTT packet of a connection, so the CID
+    # split is memoized on the raw prefix bytes.
+    buf.seek(start)
+    prefix = buf.pull_bytes(1 + local_cid_length)
+    split = _SHORT_PREFIX_CACHE.get(prefix)
+    if split is None:
+        if len(_SHORT_PREFIX_CACHE) >= _SHORT_PREFIX_CACHE_LIMIT:
+            _SHORT_PREFIX_CACHE.clear()
+        split = (prefix[1:], bool(flags & SPIN_BIT))
+        _SHORT_PREFIX_CACHE[prefix] = split
     pn = buf.pull_uint32()
     header = PacketHeader(
         packet_type=PacketType.ONE_RTT,
-        destination_cid=dcid,
-        spin_bit=bool(flags & SPIN_BIT),
+        destination_cid=split[0],
+        spin_bit=split[1],
         packet_number=pn,
     )
     return header, buf.remaining

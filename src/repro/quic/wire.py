@@ -109,13 +109,22 @@ class Buffer:
 
     # --- writing -------------------------------------------------------
 
+    def clear(self) -> None:
+        """Reset to empty for reuse, keeping the backing bytearray's
+        allocation (hot encode paths reuse one Buffer per packet)."""
+        del self._data[:]
+        self._pos = 0
+
     def push_bytes(self, data: bytes) -> None:
         if self._capacity is not None and len(self._data) + len(data) > self._capacity:
             raise FrameEncodingError("buffer capacity exceeded")
         self._data.extend(data)
 
     def push_uint8(self, v: int) -> None:
-        self.push_bytes(bytes([v & 0xFF]))
+        if self._capacity is None:
+            self._data.append(v & 0xFF)
+        else:
+            self.push_bytes(bytes([v & 0xFF]))
 
     def push_uint16(self, v: int) -> None:
         self.push_bytes((v & 0xFFFF).to_bytes(2, "big"))
@@ -127,7 +136,24 @@ class Buffer:
         self.push_bytes(v.to_bytes(8, "big"))
 
     def push_varint(self, v: int) -> None:
-        self.push_bytes(encode_varint(v))
+        if self._capacity is not None:
+            self.push_bytes(encode_varint(v))
+            return
+        # Inline encode straight into the backing bytearray: varints
+        # dominate frame serialization, and the intermediate bytes objects
+        # of encode_varint() show up in per-packet allocation profiles.
+        data = self._data
+        if 0 <= v < 64:
+            data.append(v)
+        elif v < 0 or v > VARINT_MAX:
+            raise ValueError(f"varint out of range: {v}")
+        elif v < 1 << 14:
+            data.append(0x40 | (v >> 8))
+            data.append(v & 0xFF)
+        elif v < 1 << 30:
+            data.extend((0x8000_0000 | v).to_bytes(4, "big"))
+        else:
+            data.extend(((0xC0 << 56) | v).to_bytes(8, "big"))
 
     def push_varint_prefixed_bytes(self, data: bytes) -> None:
         self.push_varint(len(data))

@@ -1,7 +1,14 @@
-"""The Pluglet Runtime Environment: ISA, verifier, interpreter, compiler."""
+"""The Pluglet Runtime Environment: ISA, verifier, interpreter, JIT, compiler."""
 
 from .asm import AssemblyError, assemble, disassemble
 from .compiler import CompileError, PlugletCompiler, compile_pluglet
+from .jit import (
+    JitError,
+    JitVirtualMachine,
+    compile_jit,
+    create_vm,
+    jit_enabled_by_env,
+)
 from .interpreter import (
     DEFAULT_FUEL,
     DEFAULT_HELPER_BUDGET,
@@ -34,6 +41,8 @@ __all__ = [
     "HEAP_BASE",
     "INSTRUCTION_SIZE",
     "Instruction",
+    "JitError",
+    "JitVirtualMachine",
     "MemoryViolation",
     "Op",
     "PluginMemory",
@@ -44,8 +53,11 @@ __all__ = [
     "VirtualMachine",
     "VmError",
     "assemble",
+    "compile_jit",
     "compile_pluglet",
+    "create_vm",
     "decode_program",
+    "jit_enabled_by_env",
     "disassemble",
     "encode_program",
     "verify",

@@ -43,14 +43,15 @@ class CompileError(Exception):
 
 
 class _Label:
-    """A symbolic jump target resolved in the fixup pass."""
+    """A symbolic jump target resolved in the fixup pass.
+
+    Names are made unique by the owning compiler (per-compilation counter),
+    so long-lived processes compiling many pluglets don't grow a global."""
 
     __slots__ = ("name",)
-    _counter = 0
 
     def __init__(self, name: str):
-        _Label._counter += 1
-        self.name = f"{name}_{_Label._counter}"
+        self.name = name
 
     def __repr__(self) -> str:
         return f"<label {self.name}>"
@@ -121,6 +122,7 @@ class PlugletCompiler:
         self._locals: dict[str, int] = {}
         self._temp_base = 0
         self._loop_stack: list[tuple[_Label, _Label]] = []
+        self._label_count = 0
         for name in params:
             self._slot(name)
         self._collect_locals(func.body)
@@ -162,6 +164,10 @@ class PlugletCompiler:
     def _emit(self, opcode: Op, dst: int = 0, src: int = 0,
               offset=0, imm: int = 0) -> None:
         self._code.append([opcode, dst, src, offset, imm])
+
+    def _new_label(self, name: str) -> _Label:
+        self._label_count += 1
+        return _Label(f"{name}_{self._label_count}")
 
     def _mark(self, label: _Label) -> None:
         self._code.append(label)
@@ -221,7 +227,7 @@ class PlugletCompiler:
             self._emit(_BINOPS[type(node.op)], dst=1, src=0)
             self._emit(Op.STXDW, dst=FP_REGISTER, offset=slot, src=1)
         elif isinstance(node, ast.If):
-            else_label, end_label = _Label("else"), _Label("endif")
+            else_label, end_label = self._new_label("else"), self._new_label("endif")
             self._cond(node.test, false_target=else_label)
             for s in node.body:
                 self._stmt(s)
@@ -233,7 +239,7 @@ class PlugletCompiler:
         elif isinstance(node, ast.While):
             if node.orelse:
                 raise CompileError("while/else not supported")
-            top, end = _Label("loop"), _Label("endloop")
+            top, end = self._new_label("loop"), self._new_label("endloop")
             self._mark(top)
             self._cond(node.test, false_target=end)
             self._loop_stack.append((top, end))
@@ -267,7 +273,7 @@ class PlugletCompiler:
                 for value in test.values:
                     self._cond(value, false_target)
             else:  # Or: jump to body if any true
-                true_target = _Label("or_true")
+                true_target = self._new_label("or_true")
                 for value in test.values[:-1]:
                     self._cond_true(value, true_target)
                 self._cond(test.values[-1], false_target)

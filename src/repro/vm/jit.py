@@ -1,0 +1,556 @@
+"""JIT translation of verified PRE bytecode into specialized Python closures.
+
+The paper's PRE does not interpret pluglet bytecode: "our PRE monitors the
+correct operation of the pluglets by injecting specific instructions when
+their bytecode is JITed" (§2.1), and the low overheads of Table 3 depend on
+it.  This module mirrors that design point at the Python level: a verified
+program is translated *once* into a single specialized Python function —
+one function per pluglet — and the memory monitor plus fuel accounting are
+injected inline into the generated code as cheap local-variable
+comparisons, exactly the "monitoring instructions" of the paper.
+
+Translation scheme
+==================
+
+* Registers ``r0``–``r9`` become Python locals; the read-only frame
+  pointer ``r10`` is folded to the constant ``STACK_BASE + STACK_SIZE``.
+  Generated code maintains the invariant that every register local is a
+  non-negative int below 2**64, so masking is emitted only where a result
+  can actually leave that range.
+* Control flow is flattened: basic blocks become guarded sections
+  ``if _bb <= k:`` inside a single ``while 1:`` loop.  A jump sets ``_bb``
+  and ``continue``s; falling off a block flows naturally into the next
+  guard, so straight-line code pays nothing for the dispatch.
+* Frame-pointer-relative accesses (the common case for compiled pluglets)
+  have their bounds check folded away at translation time; other accesses
+  get the two-region monitor check inlined as two chained comparisons.
+* Fuel is accounted in *batches*: pure register-only instructions
+  accumulate a pending count which is flushed — ``_fuel -= k`` plus one
+  comparison — before any instruction whose effects are observable from
+  outside the register file (memory, helpers, division faults, exit) and
+  at every block boundary.  At any observable event the charged total is
+  exactly the interpreter's count, so results, cumulative counters and
+  fault classes are bit-identical to :class:`~repro.vm.interpreter.
+  VirtualMachine` (the differential suite in ``tests/test_vm_jit.py``
+  enforces this).
+
+The interpreter remains the reference semantics: anything ``compile_jit``
+does not cover raises :class:`JitError` and :class:`JitVirtualMachine`
+falls back to interpreting, so the JIT can never change behaviour — only
+speed.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+from typing import Callable, List, Optional
+
+from .interpreter import (
+    DEFAULT_FUEL,
+    DEFAULT_HELPER_BUDGET,
+    HEAP_BASE,
+    STACK_BASE,
+    ExecutionError,
+    FuelExhausted,
+    MemoryViolation,
+    PluginMemory,
+    VirtualMachine,
+)
+from .isa import (
+    ALU_IMM_OPS,
+    ALU_REG_OPS,
+    DST_WRITE_OPS,
+    FP_REGISTER,
+    JMP_IMM_OPS,
+    JMP_REG_OPS,
+    JUMP_OPS,
+    LOAD_OPS,
+    MEM_SIZES,
+    NUM_REGISTERS,
+    STACK_SIZE,
+    STORE_IMM_OPS,
+    STORE_REG_OPS,
+    WORD_MASK,
+    Op,
+)
+
+__all__ = [
+    "JitError",
+    "compile_jit",
+    "JitVirtualMachine",
+    "create_vm",
+    "jit_enabled_by_env",
+]
+
+_M = WORD_MASK
+_M_LIT = str(WORD_MASK)  # 18446744073709551615
+_SIGN_LIT = str(1 << 63)
+_TWO64_LIT = str(1 << 64)
+_STACK_TOP = STACK_BASE + STACK_SIZE
+
+#: Programs larger than this fall back to the interpreter — keeps worst
+#: case translation time bounded (the verifier itself allows 65k).
+MAX_JIT_PROGRAM = 16_384
+
+
+class JitError(Exception):
+    """The program cannot be translated; callers fall back to the
+    interpreter (which yields identical runtime semantics)."""
+
+
+# Pure instructions only touch the register file and cannot fault, so
+# their fuel may be charged in arrears (registers are unobservable after
+# a fault).  DIV/MOD by register can fault and are excluded; DIV_IMM /
+# MOD_IMM are pure only because translation rejects a zero immediate.
+_PURE_ALU_REG = {Op.ADD, Op.SUB, Op.MUL, Op.AND, Op.OR, Op.XOR, Op.LSH,
+                 Op.RSH, Op.ARSH, Op.MOV}
+
+_CMP = {
+    Op.JEQ: "==",
+    Op.JNE: "!=",
+    Op.JGT: ">",
+    Op.JGE: ">=",
+    Op.JLT: "<",
+    Op.JLE: "<=",
+}
+
+_EXEC_GLOBALS = {
+    "__builtins__": {},
+    "_ExecutionError": ExecutionError,
+    "_FuelExhausted": FuelExhausted,
+    "_MemoryViolation": MemoryViolation,
+    "_u2": struct.Struct("<H").unpack_from,
+    "_u4": struct.Struct("<I").unpack_from,
+    "_u8": struct.Struct("<Q").unpack_from,
+    "_p2": struct.Struct("<H").pack_into,
+    "_p4": struct.Struct("<I").pack_into,
+    "_p8": struct.Struct("<Q").pack_into,
+}
+
+
+def _signed_const(value: int) -> int:
+    value &= _M
+    return value - (1 << 64) if value >= 1 << 63 else value
+
+
+def _reg_expr(reg: int) -> str:
+    """Expression for reading a register (r10 folds to a constant)."""
+    return str(_STACK_TOP) if reg == FP_REGISTER else f"r{reg}"
+
+
+def _signed_expr(expr: str) -> str:
+    return f"(({expr} - {_TWO64_LIT}) if {expr} >= {_SIGN_LIT} else {expr})"
+
+
+def _alu_line(base: Op, dst: int, src_expr: str,
+              src_const: Optional[int]) -> str:
+    rd = f"r{dst}"
+    if base is Op.ADD:
+        return f"{rd} = ({rd} + {src_expr}) & {_M_LIT}"
+    if base is Op.SUB:
+        return f"{rd} = ({rd} - {src_expr}) & {_M_LIT}"
+    if base is Op.MUL:
+        return f"{rd} = ({rd} * {src_expr}) & {_M_LIT}"
+    if base is Op.AND:
+        return f"{rd} = {rd} & {src_expr}"
+    if base is Op.OR:
+        return f"{rd} = {rd} | {src_expr}"
+    if base is Op.XOR:
+        return f"{rd} = {rd} ^ {src_expr}"
+    if base is Op.MOV:
+        return f"{rd} = {src_expr}"
+    if base is Op.DIV:  # pure only for verified nonzero immediates
+        return f"{rd} = {rd} // {src_expr}"
+    if base is Op.MOD:
+        return f"{rd} = {rd} % {src_expr}"
+    if base in (Op.LSH, Op.RSH, Op.ARSH):
+        sh = str(src_const & 63) if src_const is not None \
+            else f"({src_expr} & 63)"
+        if base is Op.LSH:
+            return f"{rd} = ({rd} << {sh}) & {_M_LIT}"
+        if base is Op.RSH:
+            return f"{rd} = {rd} >> {sh}"
+        return (f"{rd} = ((({rd} - {_TWO64_LIT}) >> {sh}) & {_M_LIT}) "
+                f"if {rd} >= {_SIGN_LIT} else ({rd} >> {sh})")
+    raise JitError(f"unsupported ALU op {base!r}")
+
+
+def _cond_expr(base: Op, a_expr: str, b_expr: str,
+               b_const: Optional[int]) -> str:
+    if base in _CMP:
+        return f"{a_expr} {_CMP[base]} {b_expr}"
+    if base is Op.JSET:
+        return f"{a_expr} & {b_expr}"
+    if base in (Op.JSGT, Op.JSLT):
+        sa = _signed_expr(a_expr)
+        sb = str(_signed_const(b_const)) if b_const is not None \
+            else _signed_expr(b_expr)
+        return f"{sa} {'>' if base is Op.JSGT else '<'} {sb}"
+    raise JitError(f"unsupported jump op {base!r}")
+
+
+class _Emitter:
+    """Collects generated lines for one basic block and tracks which
+    runtime preamble facilities (heap view, helper table) are needed."""
+
+    def __init__(self, indent: str):
+        self.lines: List[str] = []
+        self.indent = indent
+        self.uses_heap = False
+        self.uses_call = False
+        self.heap_sizes: set = set()
+
+    def emit(self, line: str) -> None:
+        self.lines.append(self.indent + line)
+
+    def flush_fuel(self, count: int) -> None:
+        """Charge `count` instructions; on exhaustion the partial batch is
+        zeroed so `executed == budget` exactly as the interpreter reports."""
+        if count == 0:
+            return
+        self.emit(f"_fuel -= {count}")
+        self.emit("if _fuel < 0:")
+        self.emit("    _fuel = 0")
+        self.emit('    raise _FuelExhausted('
+                  '"fuel budget exhausted (%d instructions)" % _budget)')
+
+
+def _emit_memory_op(em: _Emitter, op: Op, dst: int, src: int,
+                    offset: int, imm: int) -> None:
+    size = MEM_SIZES[op]
+    is_load = op in LOAD_OPS
+    base_reg = src if is_load else dst
+    if is_load:
+        value = None
+    elif op in STORE_REG_OPS:
+        value = _reg_expr(src)
+        if size < 8:
+            value = f"({value} & {(1 << (8 * size)) - 1})"
+    else:  # store immediate: fold the mask now
+        value = str(imm & ((1 << (8 * size)) - 1))
+
+    def stack_access(addr_expr: str) -> str:
+        if size == 1:
+            if is_load:
+                return f"r{dst} = stack[{addr_expr}]"
+            return f"stack[{addr_expr}] = {value}"
+        if is_load:
+            return f"r{dst} = _u{size}(stack, {addr_expr})[0]"
+        return f"_p{size}(stack, {addr_expr}, {value})"
+
+    def heap_access(addr_expr: str) -> str:
+        if size == 1:
+            if is_load:
+                return f"r{dst} = _heap[{addr_expr}]"
+            return f"_heap[{addr_expr}] = {value}"
+        if is_load:
+            return f"r{dst} = _u{size}(_heap, {addr_expr})[0]"
+        return f"_p{size}(_heap, {addr_expr}, {value})"
+
+    if base_reg == FP_REGISTER:
+        # Frame-pointer-relative: the address is a translation-time
+        # constant, so the monitor check is resolved here — accesses that
+        # stay in the stack need no runtime check at all.
+        addr = (_STACK_TOP + offset) & _M
+        if STACK_BASE <= addr <= STACK_BASE + STACK_SIZE - size:
+            em.emit(stack_access(str(addr - STACK_BASE)))
+        else:
+            em.emit(f'raise _MemoryViolation("access of {size} bytes at '
+                    f'0x{addr:x} outside pluglet stack and plugin memory")')
+        return
+
+    em.uses_heap = True
+    em.heap_sizes.add(size)
+    base = _reg_expr(base_reg)
+    if offset:
+        em.emit(f"_a = ({base} + ({offset})) & {_M_LIT}")
+    else:
+        em.emit(f"_a = {base}")
+    em.emit(f"if {STACK_BASE} <= _a <= {STACK_BASE + STACK_SIZE - size}:")
+    em.emit("    " + stack_access(f"_a - {STACK_BASE}"))
+    em.emit(f"elif {HEAP_BASE} <= _a <= _he{size}:")
+    em.emit("    " + heap_access(f"_a - {HEAP_BASE}"))
+    em.emit("else:")
+    em.emit(f'    raise _MemoryViolation("access of {size} bytes at 0x%x '
+            f'outside pluglet stack and plugin memory" % _a)')
+
+
+def compile_jit(instructions) -> Callable:
+    """Translate a program into a Python function with inlined monitoring.
+
+    The returned callable has signature ``fn(vm, stack, out, r1..r5)``;
+    ``out`` is a two-slot list receiving ``[instructions_executed,
+    helper_calls]`` even when the function raises.  Raises :class:`JitError`
+    when the program cannot be translated (caller falls back to the
+    interpreter).
+    """
+    n = len(instructions)
+    if n == 0:
+        raise JitError("empty program")
+    if n > MAX_JIT_PROGRAM:
+        raise JitError(f"program too large to JIT ({n} instructions)")
+
+    for ins in instructions:
+        op = ins.opcode
+        if not isinstance(op, Op):
+            raise JitError(f"unknown opcode {op!r}")
+        if not (0 <= ins.dst < NUM_REGISTERS and 0 <= ins.src < NUM_REGISTERS):
+            raise JitError(f"register out of range in {ins!r}")
+        if op in DST_WRITE_OPS and ins.dst == FP_REGISTER:
+            raise JitError("write to read-only r10")
+        if op in (Op.DIV_IMM, Op.MOD_IMM) and (ins.imm & _M) == 0:
+            raise JitError("division by zero immediate")
+
+    # Basic-block leaders: entry, every jump target, every fall-through
+    # successor of a jump or exit.
+    leaders = {0}
+    for pc, ins in enumerate(instructions):
+        op = ins.opcode
+        if op in JUMP_OPS or op is Op.EXIT:
+            if pc + 1 < n:
+                leaders.add(pc + 1)
+            if op in JUMP_OPS:
+                target = pc + 1 + ins.offset
+                if 0 <= target < n:
+                    leaders.add(target)
+    order = sorted(leaders)
+    block_of = {start: i for i, start in enumerate(order)}
+
+    body_indent = " " * 16
+    emitters: List[_Emitter] = []
+    uses_heap = False
+    uses_call = False
+    heap_sizes: set = set()
+
+    for bi, start in enumerate(order):
+        end = order[bi + 1] if bi + 1 < len(order) else n
+        em = _Emitter(body_indent)
+        emitters.append(em)
+        pending = 0
+        terminated = False
+        for pc in range(start, end):
+            ins = instructions[pc]
+            op = ins.opcode
+
+            if op in ALU_REG_OPS:
+                if op in _PURE_ALU_REG:
+                    em.emit(_alu_line(op, ins.dst, _reg_expr(ins.src), None))
+                    pending += 1
+                else:  # DIV / MOD by register: can fault
+                    em.flush_fuel(pending + 1)
+                    pending = 0
+                    src = _reg_expr(ins.src)
+                    word = "division" if op is Op.DIV else "modulo"
+                    em.emit(f"if {src} == 0:")
+                    em.emit(f'    raise _ExecutionError("{word} by zero")')
+                    line = (f"r{ins.dst} = r{ins.dst} // {src}"
+                            if op is Op.DIV else
+                            f"r{ins.dst} = r{ins.dst} % {src}")
+                    em.emit(line)
+                continue
+            if op in ALU_IMM_OPS:
+                base = Op(op - 0x10)
+                const = ins.imm & _M
+                em.emit(_alu_line(base, ins.dst, str(const), const))
+                pending += 1
+                continue
+            if op is Op.NEG:
+                em.emit(f"r{ins.dst} = (-r{ins.dst}) & {_M_LIT}")
+                pending += 1
+                continue
+            if op is Op.LDDW:
+                em.emit(f"r{ins.dst} = {ins.imm & _M}")
+                pending += 1
+                continue
+            if op in LOAD_OPS or op in STORE_REG_OPS or op in STORE_IMM_OPS:
+                em.flush_fuel(pending + 1)
+                pending = 0
+                _emit_memory_op(em, op, ins.dst, ins.src, ins.offset, ins.imm)
+                continue
+            if op is Op.CALL:
+                em.flush_fuel(pending + 1)
+                pending = 0
+                uses_call = True
+                em.emit(f"_h = _hget({ins.imm})")
+                em.emit("if _h is None:")
+                em.emit(f'    raise _ExecutionError('
+                        f'"unknown helper id {ins.imm}")')
+                em.emit("if _hcalls >= _hbudget:")
+                em.emit('    raise _FuelExhausted('
+                        '"helper-call budget exhausted (%d calls)" '
+                        '% _hbudget)')
+                em.emit("_hcalls += 1")
+                em.emit("_r = _h(vm, r1, r2, r3, r4, r5)")
+                em.emit(f"r0 = (_r or 0) & {_M_LIT}")
+                continue
+            if op is Op.EXIT:
+                em.flush_fuel(pending + 1)
+                em.emit("return r0")
+                terminated = True
+                continue
+            if op is Op.JA:
+                em.flush_fuel(pending + 1)
+                target = pc + 1 + ins.offset
+                if target < 0 or target >= n:
+                    em.emit(f'raise _ExecutionError('
+                            f'"pc {target} out of program")')
+                elif target != pc + 1:
+                    em.emit(f"_bb = {block_of[target]}")
+                    em.emit("continue")
+                terminated = True
+                continue
+            if op in JMP_REG_OPS or op in JMP_IMM_OPS:
+                em.flush_fuel(pending + 1)
+                if op in JMP_REG_OPS:
+                    base = op
+                    b_const = _STACK_TOP if ins.src == FP_REGISTER else None
+                    b_expr = _reg_expr(ins.src)
+                else:
+                    base = Op(op - 0x10)
+                    b_const = ins.imm & _M
+                    b_expr = str(b_const)
+                cond = _cond_expr(base, _reg_expr(ins.dst), b_expr, b_const)
+                target = pc + 1 + ins.offset
+                if target != pc + 1 or target >= n:
+                    em.emit(f"if {cond}:")
+                    if target < 0 or target >= n:
+                        em.emit(f'    raise _ExecutionError('
+                                f'"pc {target} out of program")')
+                    else:
+                        em.emit(f"    _bb = {block_of[target]}")
+                        em.emit("    continue")
+                if pc + 1 >= n:
+                    em.emit(f'raise _ExecutionError('
+                            f'"pc {pc + 1} out of program")')
+                terminated = True
+                continue
+            raise JitError(f"unsupported opcode {op!r}")
+
+        if not terminated:
+            # Fell off the block end: either into the next block (pc is a
+            # jump target) or off the end of the program.
+            em.flush_fuel(pending)
+            if end == n:
+                em.emit(f'raise _ExecutionError("pc {n} out of program")')
+        uses_heap = uses_heap or em.uses_heap
+        heap_sizes |= em.heap_sizes
+
+    lines: List[str] = [
+        "def _pluglet(vm, stack, out, r1, r2, r3, r4, r5):",
+        "    _budget = vm.instruction_budget",
+        "    _fuel = _budget",
+        "    _hcalls = 0",
+    ]
+    if uses_call:
+        lines.append("    _hbudget = vm.helper_call_budget")
+        lines.append("    _hget = vm.helpers.get")
+    if uses_heap:
+        lines.append("    _heap = vm.memory.data")
+        lines.append(f"    _hm = {HEAP_BASE} + vm.memory.size")
+        for size in sorted(heap_sizes):
+            lines.append(f"    _he{size} = _hm - {size}")
+    lines += [
+        "    r0 = 0",
+        "    r6 = 0",
+        "    r7 = 0",
+        "    r8 = 0",
+        "    r9 = 0",
+        "    _bb = 0",
+        "    try:",
+        "        while 1:",
+    ]
+    for bi, em in enumerate(emitters):
+        lines.append(f"            if _bb <= {bi}:")
+        lines.extend(em.lines)
+    lines += [
+        "    finally:",
+        "        out[0] = _budget - _fuel",
+        "        out[1] = _hcalls",
+    ]
+    source = "\n".join(lines) + "\n"
+
+    namespace = dict(_EXEC_GLOBALS)
+    try:
+        code = compile(source, "<pre-jit>", "exec")
+    except SyntaxError as exc:  # pragma: no cover - translation bug guard
+        raise JitError(f"generated code failed to compile: {exc}") from exc
+    exec(code, namespace)
+    fn = namespace["_pluglet"]
+    fn.source = source
+    return fn
+
+
+def jit_enabled_by_env() -> bool:
+    """The JIT is on by default; ``REPRO_JIT=0`` forces the interpreter."""
+    return os.environ.get("REPRO_JIT", "1") != "0"
+
+
+class JitVirtualMachine(VirtualMachine):
+    """A VirtualMachine that executes through a JIT-compiled closure.
+
+    Subclasses the interpreter so helpers keep their full API surface
+    (``current_stack``, ``load``/``store``, budgets).  If translation
+    fails, ``run`` transparently falls back to the interpreter loop.
+    """
+
+    def __init__(
+        self,
+        instructions: list,
+        plugin_memory: PluginMemory,
+        helpers: Optional[dict] = None,
+        instruction_budget: int = DEFAULT_FUEL,
+        helper_call_budget: int = DEFAULT_HELPER_BUDGET,
+    ):
+        super().__init__(instructions, plugin_memory, helpers,
+                         instruction_budget, helper_call_budget)
+        try:
+            self.jit_function: Optional[Callable] = compile_jit(instructions)
+        except JitError:
+            self.jit_function = None
+
+    @property
+    def jit_enabled(self) -> bool:
+        return self.jit_function is not None
+
+    def run(self, *args: int) -> int:
+        fn = self.jit_function
+        if fn is None:
+            return super().run(*args)
+        if len(args) > 5:
+            raise ValueError("at most 5 arguments (r1-r5)")
+        a1 = a2 = a3 = a4 = a5 = 0
+        if args:
+            padded = [value & _M for value in args] + [0] * (5 - len(args))
+            a1, a2, a3, a4, a5 = padded
+        stack = bytearray(STACK_SIZE)
+        out = [0, 0]
+        previous_stack = self.current_stack
+        self.current_stack = stack
+        self._helper_calls = 0
+        try:
+            return fn(self, stack, out, a1, a2, a3, a4, a5)
+        finally:
+            self.instructions_executed += out[0]
+            self._helper_calls = out[1]
+            self.helper_calls_made += out[1]
+            self.current_stack = previous_stack
+
+
+def create_vm(
+    instructions: list,
+    plugin_memory: PluginMemory,
+    helpers: Optional[dict] = None,
+    instruction_budget: int = DEFAULT_FUEL,
+    helper_call_budget: int = DEFAULT_HELPER_BUDGET,
+) -> VirtualMachine:
+    """Build the fastest available VM for a pluglet.
+
+    Returns a :class:`JitVirtualMachine` unless the ``REPRO_JIT=0``
+    environment switch forces the reference interpreter.
+    """
+    if not jit_enabled_by_env():
+        return VirtualMachine(instructions, plugin_memory, helpers,
+                              instruction_budget, helper_call_budget)
+    return JitVirtualMachine(instructions, plugin_memory, helpers,
+                             instruction_budget, helper_call_budget)

@@ -1,0 +1,191 @@
+"""Protoop dispatch-cache invalidation.
+
+The ``ProtoopTable`` precomputes a flat call plan per (protoop, param).
+These tests pin the invalidation protocol: any anchor change —
+``register``/``attach``/``detach``, including a containment-triggered
+quarantine mid-connection — must drop stale plans, and a plan captured at
+the start of a run must not fire anchors that were removed while the run
+was in flight.
+"""
+
+import pytest
+
+from repro.core import ContainmentPolicy, Plugin, PluginInstance, Pluglet
+from repro.core.protoop import Anchor, ProtoopTable
+from repro.quic import QuicConfiguration
+from repro.quic.connection import QuicConnection
+from repro.vm import assemble
+
+LOOP = "top:\nja top\nexit"  # statically verifiable, never terminates
+
+
+def make_table():
+    table = ProtoopTable()
+    table.register("greet", lambda conn, *a: "default")
+    return table
+
+
+def make_conn():
+    return QuicConnection(QuicConfiguration(is_client=True))
+
+
+def looping_plugin(name="org.x.spin", fuel=200):
+    return Plugin(name, [
+        Pluglet("spin", "packet_sent_event", "post", assemble(LOOP),
+                fuel=fuel),
+    ])
+
+
+class TestPlanCache:
+    def test_plan_built_once_and_reused(self):
+        table = make_table()
+        for _ in range(5):
+            assert table.run(None, "greet") == "default"
+        assert table.plan_builds == 1
+        assert table.runs == 5
+
+    def test_attach_invalidates_plan(self):
+        table = make_table()
+        table.run(None, "greet")
+        fired = []
+        table.attach("greet", Anchor.PRE, lambda conn, args: fired.append(1))
+        assert table.run(None, "greet") == "default"
+        assert fired == [1]
+        assert table.plan_builds == 2
+
+    def test_detach_invalidates_plan(self):
+        table = make_table()
+        fired = []
+        table.attach("greet", Anchor.POST, lambda conn, args, res: fired.append(1))
+        table.run(None, "greet")
+        assert fired == [1]
+        # detach expects the exact callable; re-fetch it from the op.
+        post = table.get("greet").post[None][0]
+        table.detach("greet", Anchor.POST, post)
+        table.run(None, "greet")
+        assert fired == [1]  # did not fire again
+
+    def test_replace_attach_and_detach(self):
+        table = make_table()
+        assert table.run(None, "greet") == "default"
+
+        def replacement(conn, *a):
+            return "plugged"
+
+        table.attach("greet", Anchor.REPLACE, replacement)
+        assert table.run(None, "greet") == "plugged"
+        table.detach("greet", Anchor.REPLACE, replacement)
+        assert table.run(None, "greet") == "default"
+
+    def test_known_params_tracks_attach(self):
+        table = ProtoopTable()
+        table.register("process_frame", lambda conn, *a: None, param=0x01,
+                       parameterized=True)
+        assert table.known_params("process_frame") == frozenset({0x01})
+        table.attach("process_frame", Anchor.REPLACE,
+                     lambda conn, *a: "new", param=0x42)
+        assert 0x42 in table.known_params("process_frame")
+
+    def test_has_behavior_follows_replacements(self):
+        table = ProtoopTable()
+        table.declare("event_hook")
+        assert not table.has_behavior("event_hook")
+        table.attach("event_hook", Anchor.REPLACE, lambda conn, *a: 1)
+        assert table.has_behavior("event_hook")
+
+    def test_midrun_detach_resolves_fresh_behavior(self):
+        """A pre anchor that detaches the replacement mid-run must cause
+        the default behaviour to run, exactly as uncached dispatch (which
+        resolved the behaviour only after the pre chain) did."""
+        table = make_table()
+
+        def replacement(conn, *a):
+            return "plugged"
+
+        table.attach("greet", Anchor.REPLACE, replacement)
+
+        def saboteur(conn, args):
+            table.detach("greet", Anchor.REPLACE, replacement)
+
+        table.attach("greet", Anchor.PRE, saboteur)
+        assert table.run(None, "greet") == "default"
+
+    def test_midrun_attach_of_post_fires(self):
+        """Uncached dispatch snapshotted post anchors after the behaviour
+        ran; a post attached by the behaviour itself therefore fired."""
+        table = ProtoopTable()
+        fired = []
+
+        def behavior(conn, *a):
+            table.attach("late", Anchor.POST,
+                         lambda conn, args, res: fired.append(res))
+            return "r"
+
+        table.register("late", behavior)
+        assert table.run(None, "late") == "r"
+        assert fired == ["r"]
+
+
+class TestQuarantineInvalidation:
+    def test_quarantined_plugin_anchors_never_fire_again(self):
+        """Containment detaches a faulting plugin mid-connection; the next
+        dispatch must rebuild its plan and skip the stale post anchor."""
+        conn = make_conn()
+        ContainmentPolicy().attach(conn)
+        inst = PluginInstance(looping_plugin(fuel=200), conn)
+        inst.attach()
+        table = conn.protoops
+
+        conn.protoops.run(conn, "packet_sent_event", None)
+        assert not conn.closed
+        assert not inst.attached
+        executed_after_fault = inst.vms["spin"].instructions_executed
+        assert executed_after_fault == 200  # fuel budget, fully charged
+
+        builds = table.plan_builds
+        conn.protoops.run(conn, "packet_sent_event", None)
+        assert table.plan_builds > builds  # plan was rebuilt...
+        assert inst.vms["spin"].instructions_executed == executed_after_fault
+        # ...and stays cached afterwards.
+        builds = table.plan_builds
+        conn.protoops.run(conn, "packet_sent_event", None)
+        assert table.plan_builds == builds
+
+    def test_attach_mid_connection_visible_immediately(self):
+        conn = make_conn()
+        table = conn.protoops
+        # Warm the plan for the event with no plugins attached.
+        table.run(conn, "packet_sent_event", None)
+        seen = []
+        counter = Plugin("org.x.count", [
+            Pluglet("count", "packet_sent_event", "post",
+                    assemble("mov r0, 1\nexit")),
+        ])
+        inst = PluginInstance(counter, conn)
+        inst.attach()
+        table.run(conn, "packet_sent_event", None)
+        assert inst.vms["count"].instructions_executed > 0
+        inst.detach()
+        executed = inst.vms["count"].instructions_executed
+        table.run(conn, "packet_sent_event", None)
+        assert inst.vms["count"].instructions_executed == executed
+        assert seen == []  # nothing unexpected fired
+
+
+class TestPlanCorrectness:
+    def test_loop_detection_survives_caching(self):
+        table = ProtoopTable()
+
+        def recurse(conn, *a):
+            return table.run(conn, "selfcall")
+
+        table.register("selfcall", recurse)
+        with pytest.raises(Exception, match="loop"):
+            table.run(None, "selfcall")
+
+    def test_external_protoop_still_guarded(self):
+        table = ProtoopTable()
+        table.register("app_op", lambda conn, *a: "app", external=True)
+        with pytest.raises(Exception, match="external"):
+            table.run(None, "app_op")
+        assert table.run_external(None, "app_op") == "app"

@@ -1,0 +1,296 @@
+#!/usr/bin/env python
+"""Fast-path benchmark harness and regression gate.
+
+Runs the Table-3 / §4.6-style workloads across every layer the fast-path
+engine touches and writes ``BENCH_pr2.json`` at the repository root — the
+trajectory file that future PRs compare themselves against.
+
+Usage (from the repository root)::
+
+    python tools/bench.py            # full run, writes BENCH_pr2.json
+    python tools/bench.py --quick    # smaller iteration counts (CI smoke)
+    python tools/bench.py --quick --check
+                                     # additionally fail on >2x regression
+                                     # vs the checked-in baseline (skipped
+                                     # when no baseline exists yet)
+
+Metrics are throughputs (ops/sec, events/sec, bytes/sec) plus the
+interpreter-vs-JIT pluglet speedup; higher is always better.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+if str(ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(ROOT / "src"))
+
+from repro.vm import PluginMemory, VirtualMachine, assemble, compile_pluglet  # noqa: E402
+from repro.vm.jit import JitVirtualMachine  # noqa: E402
+
+#: §4.6 compute kernel (same as benchmarks/test_micro_pre_overhead.py).
+KERNEL_SOURCE = """
+def kernel(n):
+    total = 0
+    i = 0
+    while i < n:
+        total = (total + i * 3) % 65521
+        i += 1
+    return total
+"""
+
+REGRESSION_FACTOR = 2.0  # --check fails when a metric drops below 1/2x
+MIN_JIT_SPEEDUP = 3.0    # acceptance floor for the JIT on the kernel
+
+
+def _time(fn, *args):
+    t0 = time.perf_counter()
+    result = fn(*args)
+    return time.perf_counter() - t0, result
+
+
+# --- workloads ---------------------------------------------------------------
+
+def bench_pre_kernel(quick: bool) -> dict:
+    """Interpreter vs JIT on the §4.6 compute kernel."""
+    code = compile_pluglet(KERNEL_SOURCE)
+    n = 4_000 if quick else 20_000
+    interp = VirtualMachine(code, PluginMemory(), instruction_budget=10_000_000)
+    jit = JitVirtualMachine(code, PluginMemory(), instruction_budget=10_000_000)
+    assert jit.jit_enabled
+    # Warm up both engines, and prove equivalence while at it.
+    assert interp.run(100) == jit.run(100)
+
+    interp_t, expected = _time(interp.run, n)
+    jit_t, got = _time(jit.run, n)
+    assert got == expected
+    ips_interp = interp.instructions_executed / interp_t if interp_t else 0.0
+    return {
+        "pre_kernel_interp_ops_per_sec": (n / interp_t, "kernel-iters/s"),
+        "pre_kernel_jit_ops_per_sec": (n / jit_t, "kernel-iters/s"),
+        "pre_kernel_jit_speedup": (interp_t / jit_t, "x"),
+        "pre_interp_instructions_per_sec": (ips_interp, "instr/s"),
+    }
+
+
+def bench_pluglet_invocation(quick: bool) -> dict:
+    """Invocation-rate micro-benchmark: a tiny pluglet called many times
+    (per-call overhead rather than per-instruction throughput)."""
+    code = assemble("add r6, r1\nmov r0, r6\nexit")
+    rounds = 2_000 if quick else 20_000
+
+    def spin(vm):
+        for i in range(rounds):
+            vm.run(i)
+
+    interp = VirtualMachine(code, PluginMemory())
+    jit = JitVirtualMachine(code, PluginMemory())
+    spin(interp), spin(jit)  # warm-up
+    interp_t, _ = _time(spin, interp)
+    jit_t, _ = _time(spin, jit)
+    return {
+        "pluglet_invocations_per_sec_interp": (rounds / interp_t, "ops/s"),
+        "pluglet_invocations_per_sec_jit": (rounds / jit_t, "ops/s"),
+        "pluglet_invocation_speedup": (interp_t / jit_t, "x"),
+    }
+
+
+def bench_protoop_dispatch(quick: bool) -> dict:
+    """Hot no-plugin dispatch through the cached protoop table."""
+    from repro.quic import QuicConfiguration
+    from repro.quic.connection import QuicConnection
+
+    conn = QuicConnection(QuicConfiguration(is_client=True))
+    table = conn.protoops
+    rounds = 10_000 if quick else 100_000
+    run = table.run
+    for _ in range(1_000):  # warm plans + caches
+        run(conn, "packet_sent_event", None)
+    t, _ = _time(lambda: [run(conn, "packet_sent_event", None)
+                          for _ in range(rounds)])
+    return {"protoop_dispatch_ops_per_sec": (rounds / t, "ops/s")}
+
+
+def bench_crypto(quick: bool) -> dict:
+    """AEAD seal+open throughput on full-size packets."""
+    from repro.quic.crypto import AeadContext
+
+    aead = AeadContext(b"k" * 16)
+    payload = b"\xa5" * 1200
+    header = b"\x40" + b"\x07" * 8
+    rounds = 500 if quick else 4_000
+
+    def seal_all():
+        for pn in range(rounds):
+            aead.seal(pn, header, payload)
+
+    def open_all(packets):
+        for pn, ct in packets:
+            aead.open(pn, header, ct)
+
+    seal_all()  # warm the block cache path
+    t_seal, _ = _time(seal_all)
+    packets = [(pn, aead.seal(pn, header, payload)) for pn in range(rounds)]
+    t_open, _ = _time(open_all, packets)
+    return {
+        "crypto_seal_bytes_per_sec": (rounds * len(payload) / t_seal, "B/s"),
+        "crypto_open_bytes_per_sec": (rounds * len(payload) / t_open, "B/s"),
+    }
+
+
+def bench_simulator(quick: bool) -> dict:
+    """Event-loop throughput with a live cancel/pending mix (the workload
+    the O(1) ``pending()`` and lazy deletion target)."""
+    from repro.netsim import Simulator
+
+    n_events = 20_000 if quick else 200_000
+    sim = Simulator()
+    fired = [0]
+
+    def tick():
+        fired[0] += 1
+        if fired[0] < n_events:
+            ev = sim.schedule(0.001, tick)
+            # A second, immediately-cancelled timer: the retransmission
+            # alarm pattern that used to make pending() O(n).
+            sim.schedule(0.002, tick).cancel()
+            assert sim.pending() >= 1
+            del ev
+
+    sim.schedule(0.0, tick)
+    t, _ = _time(sim.run)
+    return {"sim_events_per_sec": (fired[0] / t, "events/s")}
+
+
+def bench_transfer(quick: bool) -> dict:
+    """End-to-end QUIC transfer over the simulated testbed topology."""
+    from repro.netsim import Simulator, symmetric_topology
+    from repro.quic import ClientEndpoint, ServerEndpoint
+
+    size = 100_000 if quick else 400_000
+    sim = Simulator()
+    topo = symmetric_topology(sim, d_ms=10, bw_mbps=20)
+    server = ServerEndpoint(sim, topo.server, "server.0", 443)
+    received = bytearray()
+    done = [False]
+
+    def on_conn(conn):
+        conn.on_stream_data = lambda sid, d, fin: (
+            received.extend(d), done.__setitem__(0, fin))
+
+    server.on_connection = on_conn
+    client = ClientEndpoint(sim, topo.client, "client.0", 5000,
+                            "server.0", 443)
+
+    def transfer():
+        client.connect()
+        assert sim.run_until(lambda: client.conn.is_established, timeout=10)
+        sid = client.conn.create_stream()
+        client.conn.send_stream_data(sid, b"z" * size, fin=True)
+        client.pump()
+        assert sim.run_until(lambda: done[0], timeout=600)
+
+    t, _ = _time(transfer)
+    assert len(received) == size
+    return {"e2e_transfer_bytes_per_sec": (size / t, "B/s")}
+
+
+WORKLOADS = [
+    ("pre-kernel", bench_pre_kernel),
+    ("pluglet-invocation", bench_pluglet_invocation),
+    ("protoop-dispatch", bench_protoop_dispatch),
+    ("crypto", bench_crypto),
+    ("simulator", bench_simulator),
+    ("e2e-transfer", bench_transfer),
+]
+
+
+# --- reporting / regression gate --------------------------------------------
+
+def run_all(quick: bool) -> dict:
+    metrics = {}
+    for name, fn in WORKLOADS:
+        print(f"[bench] {name} ...", flush=True)
+        for key, (value, unit) in fn(quick).items():
+            metrics[key] = {"value": round(value, 3), "unit": unit}
+            print(f"    {key:42s} {value:>14,.1f} {unit}")
+    return metrics
+
+
+def check_regressions(metrics: dict, baseline_path: pathlib.Path) -> list:
+    """>2x drops vs the checked-in baseline.  All metrics are
+    higher-is-better throughputs/speedups."""
+    if not baseline_path.exists():
+        print(f"[bench] no baseline at {baseline_path}; skipping check")
+        return []
+    baseline = json.loads(baseline_path.read_text()).get("metrics", {})
+    failures = []
+    for key, entry in metrics.items():
+        base = baseline.get(key)
+        if base is None or base.get("unit") != entry["unit"]:
+            continue
+        if entry["value"] * REGRESSION_FACTOR < base["value"]:
+            failures.append(
+                f"{key}: {entry['value']:,.1f} {entry['unit']} is >"
+                f"{REGRESSION_FACTOR}x below baseline {base['value']:,.1f}"
+            )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller iteration counts (CI smoke run)")
+    parser.add_argument("--check", action="store_true",
+                        help="fail on >2x regression vs the baseline")
+    parser.add_argument("--output", type=pathlib.Path,
+                        default=ROOT / "BENCH_pr2.json")
+    parser.add_argument("--baseline", type=pathlib.Path,
+                        default=ROOT / "BENCH_pr2.json",
+                        help="baseline file compared by --check")
+    args = parser.parse_args(argv)
+
+    metrics = run_all(args.quick)
+
+    failures = []
+    speedup = metrics["pre_kernel_jit_speedup"]["value"]
+    if speedup < MIN_JIT_SPEEDUP:
+        msg = (f"pre_kernel_jit_speedup {speedup:.2f}x below the "
+               f"{MIN_JIT_SPEEDUP}x acceptance floor")
+        if args.check:
+            failures.append(msg)
+        else:
+            print(f"[bench] WARNING: {msg}")
+
+    if args.check:
+        failures += check_regressions(metrics, args.baseline)
+
+    report = {
+        "schema": "pquic-bench-v1",
+        "pr": "pr2",
+        "quick": args.quick,
+        "python": sys.version.split()[0],
+        "metrics": metrics,
+    }
+    # The quick CI run must never clobber the checked-in full baseline.
+    out = args.output
+    if args.quick and out == args.baseline and out.exists():
+        out = out.with_suffix(".quick.json")
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"[bench] wrote {out}")
+
+    if failures:
+        for f in failures:
+            print(f"[bench] FAIL: {f}", file=sys.stderr)
+        return 1
+    print(f"[bench] ok (JIT speedup {speedup:.1f}x)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
