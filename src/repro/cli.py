@@ -8,7 +8,10 @@ Commands:
 * ``protoops``            — list the protocol-operation registry;
 * ``inspect <plugin>``    — stats + verification + termination report for
   a built-in plugin;
-* ``trace``               — a transfer with the qlog tracer, JSON to stdout.
+* ``trace``               — a transfer with the qlog tracer: JSON to
+  stdout, or schema-validated streaming JSONL via ``--jsonl``;
+* ``profile``             — a transfer with PRE profiling: per-pluglet
+  fuel / wall-time / helper-call attribution.
 """
 
 from __future__ import annotations
@@ -118,16 +121,23 @@ def cmd_inspect(args) -> int:
 
 
 def cmd_trace(args) -> int:
+    from repro.core import PluginInstance
     from repro.netsim import Simulator, symmetric_topology
     from repro.quic import ClientEndpoint, ServerEndpoint
-    from repro.quic.qlog import ConnectionTracer
+    from repro.trace import ConnectionTracer, JsonlTraceWriter, PreProfiler
 
     sim = Simulator()
     topo = symmetric_topology(sim, d_ms=args.delay, bw_mbps=args.bandwidth,
                               loss_pct=args.loss, seed=args.seed)
     server = ServerEndpoint(sim, topo.server, "server.0", 443)
     client = ClientEndpoint(sim, topo.client, "client.0", 5000, "server.0", 443)
-    tracer = ConnectionTracer(client.conn)
+    if args.plugins:
+        PreProfiler().attach(client.conn)  # profile rows join the trace
+    writer = JsonlTraceWriter(args.jsonl) if args.jsonl else None
+    tracer = ConnectionTracer(client.conn, max_events=args.max_events,
+                              writer=writer, validate=args.validate)
+    for name in args.plugins:
+        PluginInstance(BUILTIN_PLUGINS[name](), client.conn).attach()
     done = [False]
     server.on_connection = lambda conn: setattr(
         conn, "on_stream_data", lambda sid, d, fin: done.__setitem__(0, fin))
@@ -137,7 +147,41 @@ def cmd_trace(args) -> int:
     client.conn.send_stream_data(sid, b"t" * args.size, fin=True)
     client.pump()
     sim.run_until(lambda: done[0], timeout=120)
-    print(tracer.to_json())
+    tracer.finish()
+    if args.jsonl:
+        dropped = f" ({tracer.dropped} dropped)" if tracer.dropped else ""
+        print(f"wrote {len(tracer.events)} events to {args.jsonl}{dropped}")
+    else:
+        print(tracer.to_json())
+    return 0
+
+
+def cmd_profile(args) -> int:
+    from repro.experiments import run_quic_transfer
+
+    builders = [BUILTIN_PLUGINS[p] for p in args.plugins]
+    result = run_quic_transfer(
+        args.size, d_ms=args.delay, bw_mbps=args.bandwidth,
+        loss_pct=args.loss, seed=args.seed,
+        client_plugins=builders, server_plugins=builders,
+        multipath="multipath" in args.plugins,
+        profile=True,
+    )
+    if not result.completed:
+        print("transfer did not complete", file=sys.stderr)
+        return 1
+    print(f"transferred {args.size} bytes in {result.dct:.3f}s with "
+          f"plugins: {', '.join(args.plugins) or '(none)'}")
+    print()
+    print(result.profile.format_table(max_rows=args.top))
+    runs = result.profile.protoop_runs()
+    if runs:
+        total = sum(runs.values())
+        print(f"\nhost protoop dispatches: {total} across "
+              f"{len(runs)} operations (top 5:")
+        for name, count in sorted(runs.items(), key=lambda kv: -kv[1])[:5]:
+            print(f"  {name:<32} {count}")
+        print(")")
     return 0
 
 
@@ -183,7 +227,29 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--bandwidth", type=float, default=20.0)
     p.add_argument("--loss", type=float, default=0.0)
     p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--plugins", nargs="*", default=[],
+                   choices=sorted(BUILTIN_PLUGINS))
+    p.add_argument("--jsonl", metavar="PATH",
+                   help="stream events to PATH as JSONL instead of "
+                        "printing a qlog document")
+    p.add_argument("--validate", action="store_true",
+                   help="schema-validate every event as it is recorded")
+    p.add_argument("--max-events", type=int, default=100_000)
     p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser("profile",
+                       help="per-pluglet PRE cost attribution for a transfer")
+    p.add_argument("--size", type=int, default=200_000)
+    p.add_argument("--delay", type=float, default=10.0)
+    p.add_argument("--bandwidth", type=float, default=20.0)
+    p.add_argument("--loss", type=float, default=0.0)
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--plugins", nargs="*",
+                   default=["monitoring", "fec-xor"],
+                   choices=sorted(BUILTIN_PLUGINS))
+    p.add_argument("--top", type=int, default=None,
+                   help="show only the N costliest rows")
+    p.set_defaults(func=cmd_profile)
     return parser
 
 

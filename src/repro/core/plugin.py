@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import zlib
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Any, Callable, Optional
 
 from repro.errors import TransportError, TransportErrorCode
@@ -329,8 +330,34 @@ class PluginInstance:
                 helper_call_budget=p.helper_budget or DEFAULT_HELPER_BUDGET,
             )
         self.attached = False
+        #: PRE profiler (see :mod:`repro.trace.profile`), None when
+        #: profiling is off — the only cost then is this one attribute
+        #: test per invocation.
+        self._profiler = getattr(conn, "profiler", None)
 
     # --- invocation -----------------------------------------------------------
+
+    def _run_profiled(self, vm, pluglet: Pluglet, marshaled: list) -> Any:
+        """Run the PRE under the profiler: attribute the fuel / helper /
+        wall-time deltas of this invocation to (plugin, pluglet, protoop),
+        recording faulting runs too."""
+        fuel0 = vm.instructions_executed
+        helpers0 = vm.helper_calls_made
+        fault = True
+        t0 = perf_counter()
+        try:
+            value = vm.run(*marshaled)
+            fault = False
+            return value
+        finally:
+            self._profiler.record(
+                self.plugin.name, pluglet.name, pluglet.protoop,
+                fuel=vm.instructions_executed - fuel0,
+                helper_calls=vm.helper_calls_made - helpers0,
+                wall_s=perf_counter() - t0,
+                jit=vm.execution_path == "jit",
+                fault=fault,
+            )
 
     def invoke(self, pluglet: Pluglet, args: tuple, writable: bool) -> Any:
         vm = self.vms[pluglet.name]
@@ -341,7 +368,10 @@ class PluginInstance:
         self.runtime.pending_result = _NO_RESULT
         try:
             marshaled = [ctx.marshal(i) for i in range(min(5, len(args)))]
-            value = vm.run(*marshaled)
+            if self._profiler is None:
+                value = vm.run(*marshaled)
+            else:
+                value = self._run_profiled(vm, pluglet, marshaled)
             if self.runtime.pending_result is not _NO_RESULT:
                 return self.runtime.pending_result
             return value

@@ -85,6 +85,11 @@ class ProtoopTable:
         self._params_cache: dict[str, frozenset] = {}
         self._epoch = 0  # bumped on every invalidation
         self.plan_builds = 0  # cache fills (tests/monitoring)
+        #: Per-operation run counts, populated only after
+        #: :meth:`enable_run_counting` (profiling) — the default dispatch
+        #: path carries no counting branch.
+        self.run_counts: dict[str, int] = {}
+        self._count_runs = False  # whether plans embed a counting observer
 
     def _invalidate(self) -> None:
         """Drop every cached call plan (an anchor or default changed)."""
@@ -95,7 +100,15 @@ class ProtoopTable:
     def _build_plan(self, name: str, param: Any) -> tuple:
         op = self.get(name)
         key = param if op.parameterized else None
-        plan = (op, key, tuple(op.pre.get(key, ())), op.behavior(key),
+        pre = tuple(op.pre.get(key, ()))
+        if self._count_runs:
+            counts = self.run_counts
+
+            def count_run(conn, args, _name=name):
+                counts[_name] = counts.get(_name, 0) + 1
+
+            pre = (count_run,) + pre
+        plan = (op, key, pre, op.behavior(key),
                 tuple(op.post.get(key, ())))
         self._plans[(name, param)] = plan
         self.plan_builds += 1
@@ -277,3 +290,27 @@ class ProtoopTable:
     def run_external(self, conn, name: str, param: Any = None, *args: Any) -> Any:
         """Entry point for the application (§2.4)."""
         return self.run(conn, name, param, *args, _from_app=True)
+
+    # --- profiling ---------------------------------------------------------
+
+    def enable_run_counting(self) -> None:
+        """Count runs per operation name into :attr:`run_counts`.
+
+        Implemented by rebuilding call plans with a counting observer
+        at the head of the pre chain — counting lives in the plan, the
+        dispatcher itself carries no branch, so tables that never
+        profile (or profiled and stopped) keep the zero-cost path.
+        Method objects are never shadowed: an instance attribute over
+        :meth:`run` would de-specialize CPython's per-instruction
+        attribute caches for the whole dispatch loop.  Idempotent.
+        """
+        if self._count_runs:
+            return
+        self._count_runs = True
+        self._invalidate()
+
+    def disable_run_counting(self) -> None:
+        if not self._count_runs:
+            return
+        self._count_runs = False
+        self._invalidate()

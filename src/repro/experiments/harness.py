@@ -21,6 +21,7 @@ from repro.quic import (
     ServerEndpoint,
     TransportParameters,
 )
+from repro.trace import ConnectionMetrics, MetricsRegistry, PreProfiler
 
 #: The paper's default parameter ranges (§4): d in ms, bw in Mbps, l in %.
 DEFAULT_RANGES = {"d": (2.5, 25.0), "bw": (5.0, 50.0), "l": 0.0}
@@ -35,6 +36,10 @@ class TransferResult:
     client_stats: dict
     plugin_instances: list = field(default_factory=list)
     extra: dict = field(default_factory=dict)
+    #: Simulator-wide metrics registry (set when a run asked for one).
+    metrics: Optional[MetricsRegistry] = None
+    #: PRE profiler with per-pluglet attribution (set when profiling).
+    profile: Optional[PreProfiler] = None
 
 
 def _timeout_for(size: int, bw_mbps: float, d_ms: float, loss: float) -> float:
@@ -60,16 +65,31 @@ def run_quic_transfer(
     multipath: bool = False,
     initial_window: Optional[int] = None,
     timeout: Optional[float] = None,
+    metrics: Optional[MetricsRegistry] = None,
+    profile=False,
 ) -> TransferResult:
     """One GET transfer over PQUIC, optionally with plugins attached.
 
     ``client_plugins`` / ``server_plugins`` are zero-argument plugin
-    builders (so each run gets fresh instances)."""
-    sim = Simulator()
+    builders (so each run gets fresh instances).
+
+    Observability is opt-in: pass a
+    :class:`~repro.trace.MetricsRegistry` as ``metrics`` to collect
+    per-connection counters/histograms plus simulator totals into it, and
+    ``profile=True`` (or an existing :class:`~repro.trace.PreProfiler`,
+    to accumulate across runs) for per-pluglet PRE attribution on both
+    sides of the connection."""
+    sim = Simulator(metrics=metrics)
     topo = symmetric_topology(sim, d_ms=d_ms, bw_mbps=bw_mbps,
                               loss_pct=loss_pct, seed=seed,
                               buffer_bytes=_buffer_for(bw_mbps, d_ms))
     instances: list = []
+    if profile is False or profile is None:
+        profiler = None
+    elif profile is True:
+        profiler = PreProfiler()
+    else:
+        profiler = profile
 
     def server_config() -> QuicConfiguration:
         cfg = QuicConfiguration(is_client=False)
@@ -82,6 +102,10 @@ def run_quic_transfer(
                             configuration_factory=server_config)
 
     def on_connection(conn):
+        if profiler is not None:
+            profiler.attach(conn)
+        if metrics is not None:
+            ConnectionMetrics(conn, metrics, prefix="server.")
         for build in server_plugins:
             instance = PluginInstance(build(), conn)
             instance.attach()
@@ -98,6 +122,10 @@ def run_quic_transfer(
                             "server.0", 443, configuration=client_cfg)
     if multipath:
         client.conn.extra_local_addresses = ["client.1"]
+    if profiler is not None:
+        profiler.attach(client.conn)
+    if metrics is not None:
+        ConnectionMetrics(client.conn, metrics, prefix="client.")
     for build in client_plugins:
         instance = PluginInstance(build(), client.conn)
         instance.attach()
@@ -106,15 +134,24 @@ def run_quic_transfer(
     bulk_client = BulkClient(client.conn, client.pump)
     client.connect()
     if not sim.run_until(lambda: client.conn.is_established, timeout=30):
-        return TransferResult(None, False, dict(client.conn.stats), instances)
+        return TransferResult(None, False, dict(client.conn.stats), instances,
+                              metrics=metrics, profile=profiler)
     bulk_client.request(size, now=sim.now)
     limit = timeout or _timeout_for(size, bw_mbps, d_ms, loss_pct)
     sim.run_until(lambda: bulk_client.completed, timeout=limit)
+    if metrics is not None:
+        metrics.counter("transfers.total").inc()
+        if bulk_client.completed:
+            metrics.counter("transfers.completed").inc()
+            metrics.histogram("transfer.dct_ms").observe(
+                bulk_client.dct * 1000.0)
     return TransferResult(
         dct=bulk_client.dct,
         completed=bulk_client.completed,
         client_stats=dict(client.conn.stats),
         plugin_instances=instances,
+        metrics=metrics,
+        profile=profiler,
     )
 
 

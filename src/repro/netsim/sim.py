@@ -59,13 +59,27 @@ class Simulator:
         sim.run()
     """
 
-    def __init__(self) -> None:
+    def __init__(self, metrics=None) -> None:
         self.now: float = 0.0
         self._queue: list[Event] = []
         self._seq = itertools.count()
         self._running = False
         self._live = 0  # non-cancelled events currently queued
         self._cancelled = 0  # cancelled events awaiting lazy deletion
+        self.events_fired = 0  # total events executed (observability)
+        #: Optional :class:`~repro.trace.metrics.MetricsRegistry`; run
+        #: loops fold their event counts into it on exit (never per
+        #: event, so the loop itself stays metric-free).
+        self.metrics = metrics
+
+    def _account(self, fired: int) -> None:
+        """Fold a run's event count into the counters / registry."""
+        self.events_fired += fired
+        if self.metrics is not None:
+            if fired:
+                self.metrics.counter("sim.events_fired").inc(fired)
+            self.metrics.gauge("sim.pending").set(float(self.pending()))
+            self.metrics.gauge("sim.now_s").set(self.now)
 
     def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> Event:
         """Schedule ``fn(*args)`` to run ``delay`` seconds from now."""
@@ -120,6 +134,7 @@ class Simulator:
             return False
         self.now = ev.time
         ev.fn(*ev.args)
+        self._account(1)
         return True
 
     def _on_limit(self, max_events: int, on_max_events: str) -> None:
@@ -153,22 +168,25 @@ class Simulator:
             raise ValueError(f"on_max_events must be 'raise' or 'warn', "
                              f"got {on_max_events!r}")
         count = 0
-        while True:
-            ev = self._pop()
-            if ev is None:
-                break
-            if until is not None and ev.time > until:
-                self._push_back(ev)
-                self.now = until
-                return
-            self.now = ev.time
-            ev.fn(*ev.args)
-            count += 1
-            if count >= max_events:
-                self._on_limit(max_events, on_max_events)
-                return
-        if until is not None:
-            self.now = max(self.now, until)
+        try:
+            while True:
+                ev = self._pop()
+                if ev is None:
+                    break
+                if until is not None and ev.time > until:
+                    self._push_back(ev)
+                    self.now = until
+                    return
+                self.now = ev.time
+                ev.fn(*ev.args)
+                count += 1
+                if count >= max_events:
+                    self._on_limit(max_events, on_max_events)
+                    return
+            if until is not None:
+                self.now = max(self.now, until)
+        finally:
+            self._account(count)
 
     def run_until(
         self,
@@ -187,23 +205,28 @@ class Simulator:
                              f"got {on_max_events!r}")
         deadline = self.now + timeout
         count = 0
+        fired = 0
         if predicate():
             return True
-        while True:
-            ev = self._pop()
-            if ev is None:
-                break
-            if ev.time > deadline:
-                # Put it back: the caller may keep running later.
-                self._push_back(ev)
-                self.now = deadline
-                return predicate()
-            self.now = ev.time
-            ev.fn(*ev.args)
-            if predicate():
-                return True
-            count += 1
-            if count >= max_events:
-                self._on_limit(max_events, on_max_events)
-                return predicate()
-        return predicate()
+        try:
+            while True:
+                ev = self._pop()
+                if ev is None:
+                    break
+                if ev.time > deadline:
+                    # Put it back: the caller may keep running later.
+                    self._push_back(ev)
+                    self.now = deadline
+                    return predicate()
+                self.now = ev.time
+                ev.fn(*ev.args)
+                fired += 1
+                if predicate():
+                    return True
+                count += 1
+                if count >= max_events:
+                    self._on_limit(max_events, on_max_events)
+                    return predicate()
+            return predicate()
+        finally:
+            self._account(fired)

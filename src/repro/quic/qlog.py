@@ -1,174 +1,13 @@
-"""A qlog-style connection tracer built on protocol-operation anchors.
+"""Backwards-compatible alias for the promoted trace pipeline.
 
-Nothing here touches the connection internals: every event is observed
-through ``pre``/``post`` anchors on the same protocol operations plugins
-use — the tracer is a host-side demonstration of the gray-box interface
-(and a debugging aid for plugin authors).
+The connection tracer grew into the full observability layer at
+:mod:`repro.trace` (schema-versioned events, JSONL streaming, metrics,
+PRE profiling).  This module keeps the historical import path working::
+
+    from repro.quic.qlog import ConnectionTracer   # still fine
+    from repro.trace import ConnectionTracer       # preferred
 """
 
-from __future__ import annotations
+from repro.trace.tracer import ConnectionTracer, TraceEvent
 
-import json
-from dataclasses import dataclass, field
-from typing import Optional
-
-from repro.core.protoop import Anchor
-
-
-@dataclass
-class TraceEvent:
-    time: float
-    category: str
-    name: str
-    data: dict = field(default_factory=dict)
-
-    def as_dict(self) -> dict:
-        return {
-            "time": round(self.time * 1000, 3),  # ms, qlog convention
-            "category": self.category,
-            "name": self.name,
-            "data": self.data,
-        }
-
-
-class ConnectionTracer:
-    """Attach to a connection to record transport events."""
-
-    def __init__(self, conn, max_events: int = 100_000):
-        self.conn = conn
-        self.max_events = max_events
-        self.events: list = []
-        self._attached: list = []
-        self._attach()
-
-    def _record(self, category: str, name: str, **data) -> None:
-        if len(self.events) >= self.max_events:
-            return
-        self.events.append(TraceEvent(self.conn.now, category, name, data))
-
-    def _attach(self) -> None:
-        table = self.conn.protoops
-        hooks = [
-            ("packet_sent_event", self._on_packet_sent),
-            ("packet_received_event", self._on_packet_received),
-            ("packet_lost_event", self._on_packet_lost),
-            ("rtt_updated", self._on_rtt),
-            ("cc_window_updated", self._on_cwnd),
-            ("connection_established", self._on_established),
-            ("connection_closed", self._on_closed),
-            ("stream_opened", self._on_stream_opened),
-            ("loss_alarm_fired", self._on_alarm),
-            ("plugin_injected", self._on_plugin),
-            ("spin_bit_flipped", self._on_spin),
-            ("plugin_fault", self._on_plugin_fault),
-            ("plugin_quarantined", self._on_plugin_quarantined),
-            ("plugin_blocklisted", self._on_plugin_blocklisted),
-            ("plugin_exchange_retry", self._on_exchange_retry),
-            ("plugin_exchange_degraded", self._on_exchange_degraded),
-            ("plugin_exchange_completed", self._on_exchange_completed),
-        ]
-        for name, fn in hooks:
-            table.attach(name, Anchor.POST, fn)
-            self._attached.append((name, fn))
-
-    def detach(self) -> None:
-        for name, fn in self._attached:
-            self.conn.protoops.detach(name, Anchor.POST, fn)
-        self._attached.clear()
-
-    # --- hooks -----------------------------------------------------------
-
-    def _on_packet_sent(self, conn, args, result) -> None:
-        (sent,) = args
-        self._record("transport", "packet_sent",
-                     packet_number=sent.packet_number, size=sent.size,
-                     path=sent.path_id, ack_eliciting=sent.ack_eliciting)
-
-    def _on_packet_received(self, conn, args, result) -> None:
-        epoch, path, pn, payload = args
-        self._record("transport", "packet_received",
-                     packet_number=pn, path=path, size=len(payload))
-
-    def _on_packet_lost(self, conn, args, result) -> None:
-        (pkt,) = args
-        self._record("recovery", "packet_lost",
-                     packet_number=pkt.packet_number, path=pkt.path_id)
-
-    def _on_rtt(self, conn, args, result) -> None:
-        path, latest = args
-        self._record("recovery", "metrics_updated",
-                     path=path, latest_rtt_ms=round(latest * 1000, 3))
-
-    def _on_cwnd(self, conn, args, result) -> None:
-        path, cwnd = args
-        self._record("recovery", "congestion_window_updated",
-                     path=path, cwnd=int(cwnd))
-
-    def _on_established(self, conn, args, result) -> None:
-        self._record("connectivity", "connection_established")
-
-    def _on_closed(self, conn, args, result) -> None:
-        self._record("connectivity", "connection_closed")
-
-    def _on_stream_opened(self, conn, args, result) -> None:
-        self._record("transport", "stream_opened", stream_id=args[0])
-
-    def _on_alarm(self, conn, args, result) -> None:
-        self._record("recovery", "loss_alarm_fired")
-
-    def _on_plugin(self, conn, args, result) -> None:
-        self._record("pquic", "plugin_injected", plugin=args[0])
-
-    def _on_spin(self, conn, args, result) -> None:
-        self._record("transport", "spin_bit_updated", value=bool(args[0]))
-
-    def _on_plugin_fault(self, conn, args, result) -> None:
-        plugin, pluglet, failure_class, reason = args
-        self._record("pquic", "plugin_fault", plugin=plugin,
-                     pluglet=pluglet, failure_class=failure_class,
-                     reason=reason)
-
-    def _on_plugin_quarantined(self, conn, args, result) -> None:
-        plugin, crashes, until = args
-        self._record("pquic", "plugin_quarantined", plugin=plugin,
-                     crashes=crashes,
-                     quarantined_until_ms=round(until * 1000, 3))
-
-    def _on_plugin_blocklisted(self, conn, args, result) -> None:
-        self._record("pquic", "plugin_blocklisted", plugin=args[0])
-
-    def _on_exchange_retry(self, conn, args, result) -> None:
-        plugin, attempt = args
-        self._record("pquic", "plugin_exchange_retry", plugin=plugin,
-                     attempt=attempt)
-
-    def _on_exchange_degraded(self, conn, args, result) -> None:
-        plugin, reason = args
-        self._record("pquic", "plugin_exchange_degraded", plugin=plugin,
-                     reason=reason)
-
-    def _on_exchange_completed(self, conn, args, result) -> None:
-        plugin, length = args
-        self._record("pquic", "plugin_exchange_completed", plugin=plugin,
-                     compressed_length=length)
-
-    # --- output ------------------------------------------------------------
-
-    def summary(self) -> dict:
-        counts: dict = {}
-        for event in self.events:
-            counts[event.name] = counts.get(event.name, 0) + 1
-        return counts
-
-    def to_json(self) -> str:
-        """A qlog-shaped document for external viewers."""
-        return json.dumps({
-            "qlog_version": "0.4-repro",
-            "title": "pquic-repro trace",
-            "traces": [{
-                "vantage_point": {
-                    "type": "client" if self.conn.is_client else "server",
-                },
-                "events": [e.as_dict() for e in self.events],
-            }],
-        }, indent=2)
+__all__ = ["ConnectionTracer", "TraceEvent"]

@@ -1,0 +1,66 @@
+"""Unified observability: schema-versioned traces, metrics, PRE profiling.
+
+The paper's first demonstration plugin is *monitoring* — observing a
+connection through protocol-operation anchors — and this package scales
+that idea into the host's own observability layer:
+
+* :mod:`repro.trace.schema` — the versioned event catalog and validators;
+* :mod:`repro.trace.tracer` — :class:`ConnectionTracer`, the qlog
+  pipeline (in-memory, streaming JSONL, strict validation);
+* :mod:`repro.trace.writer` — JSONL streaming with header/footer framing;
+* :mod:`repro.trace.metrics` — counters / gauges / mergeable fixed-bucket
+  histograms, aggregated per connection and simulator-wide;
+* :mod:`repro.trace.profile` — per-pluglet PRE cost attribution
+  (fuel, wall time, helper calls, JIT vs interpreter path).
+
+Everything is opt-in and zero-cost when disabled: hooks attach through
+the same protoop anchors plugins use, and the hot paths carry no
+tracing branches unless a tracer/profiler is installed.
+"""
+
+from .metrics import (
+    DEFAULT_BYTES_BUCKETS,
+    DEFAULT_MS_BUCKETS,
+    ConnectionMetrics,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricError,
+    MetricsRegistry,
+)
+from .profile import PreProfiler, ProfileRecord
+from .schema import (
+    EVENT_CATALOG,
+    TRACE_SCHEMA_VERSION,
+    EventSpec,
+    SchemaError,
+    validate_event,
+    validate_record,
+    validate_stream,
+)
+from .tracer import ConnectionTracer, TraceEvent
+from .writer import JsonlTraceWriter, read_jsonl
+
+__all__ = [
+    "ConnectionMetrics",
+    "ConnectionTracer",
+    "Counter",
+    "DEFAULT_BYTES_BUCKETS",
+    "DEFAULT_MS_BUCKETS",
+    "EVENT_CATALOG",
+    "EventSpec",
+    "Gauge",
+    "Histogram",
+    "JsonlTraceWriter",
+    "MetricError",
+    "MetricsRegistry",
+    "PreProfiler",
+    "ProfileRecord",
+    "SchemaError",
+    "TRACE_SCHEMA_VERSION",
+    "TraceEvent",
+    "read_jsonl",
+    "validate_event",
+    "validate_record",
+    "validate_stream",
+]

@@ -1,0 +1,248 @@
+"""Trace event schema: the versioned contract of the qlog pipeline.
+
+Every event the tracer can emit is declared here as an :class:`EventSpec`
+— its category, its data fields and their types.  The JSONL stream (see
+:mod:`repro.trace.writer`) carries the schema version in its header so
+external consumers (CI artifact checks, qlog viewers, PANTHER-style test
+drivers) can validate a trace without importing this package.
+
+Validation is *strict*: an unknown event name, a missing required field,
+an extra field or a type mismatch all raise :class:`SchemaError`.  The CI
+smoke run validates every event of a real transfer against this catalog,
+so the schema cannot silently drift from the emitters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+#: Bump the minor on additive changes (new events, new optional fields),
+#: the major on anything that breaks an existing consumer.
+TRACE_SCHEMA_VERSION = "repro-trace/1.0"
+
+#: Record types appearing in a JSONL stream.
+RECORD_HEADER = "header"
+RECORD_EVENT = "event"
+RECORD_FOOTER = "footer"
+
+CATEGORIES = ("transport", "recovery", "connectivity", "plugin", "pre",
+              "sim", "trace")
+
+
+class SchemaError(ValueError):
+    """A record does not conform to the trace schema."""
+
+
+def _is_int(v) -> bool:
+    return isinstance(v, int) and not isinstance(v, bool)
+
+
+def _is_float(v) -> bool:
+    return (isinstance(v, float) or _is_int(v))
+
+
+_CHECKS = {
+    "int": _is_int,
+    "float": _is_float,  # accepts ints: JSON has one number type
+    "bool": lambda v: isinstance(v, bool),
+    "str": lambda v: isinstance(v, str),
+}
+
+
+@dataclass(frozen=True)
+class EventSpec:
+    """Declaration of one event type."""
+
+    name: str
+    category: str
+    #: field name -> type tag ("int" | "float" | "bool" | "str")
+    fields: dict = field(default_factory=dict)
+    #: fields that may be absent (everything else is required)
+    optional: frozenset = frozenset()
+    doc: str = ""
+
+    def validate_data(self, data: dict) -> None:
+        for key, value in data.items():
+            tag = self.fields.get(key)
+            if tag is None:
+                raise SchemaError(
+                    f"event {self.name!r}: unknown field {key!r}")
+            if not _CHECKS[tag](value):
+                raise SchemaError(
+                    f"event {self.name!r}: field {key!r} expects {tag}, "
+                    f"got {type(value).__name__} ({value!r})")
+        for key in self.fields:
+            if key not in data and key not in self.optional:
+                raise SchemaError(
+                    f"event {self.name!r}: missing required field {key!r}")
+
+
+def _spec(name: str, category: str, doc: str = "",
+          optional: tuple = (), **fields: str) -> EventSpec:
+    if category not in CATEGORIES:
+        raise ValueError(f"unknown category {category!r}")
+    return EventSpec(name=name, category=category, fields=fields,
+                     optional=frozenset(optional), doc=doc)
+
+
+#: The full event catalog, keyed by event name.
+EVENT_CATALOG: dict = {
+    spec.name: spec for spec in [
+        # --- transport ---------------------------------------------------
+        _spec("packet_sent", "transport",
+              "A packet left the connection.",
+              packet_number="int", size="int", path="int",
+              ack_eliciting="bool"),
+        _spec("packet_received", "transport",
+              "A packet was decrypted and accepted.",
+              packet_number="int", path="int", size="int"),
+        _spec("stream_opened", "transport",
+              "A new stream became active.",
+              stream_id="int"),
+        _spec("spin_bit_updated", "transport",
+              "The latency spin bit flipped.",
+              value="bool"),
+        # --- recovery ----------------------------------------------------
+        _spec("packet_lost", "recovery",
+              "Loss detection declared a packet lost.",
+              packet_number="int", path="int"),
+        _spec("metrics_updated", "recovery",
+              "A new RTT sample was folded into the estimator.",
+              path="int", latest_rtt_ms="float"),
+        _spec("congestion_window_updated", "recovery",
+              "The congestion controller moved its window.",
+              path="int", cwnd="int"),
+        _spec("loss_alarm_fired", "recovery",
+              "The PTO/loss alarm fired."),
+        # --- connectivity ------------------------------------------------
+        _spec("connection_established", "connectivity",
+              "The handshake completed."),
+        _spec("connection_closed", "connectivity",
+              "The connection closed."),
+        # --- plugin lifecycle --------------------------------------------
+        _spec("plugin_injected", "plugin",
+              "A plugin attached all its pluglets.",
+              plugin="str"),
+        _spec("plugin_fault", "plugin",
+              "A pluglet faulted at runtime.",
+              plugin="str", pluglet="str", failure_class="str",
+              reason="str"),
+        _spec("plugin_quarantined", "plugin",
+              "A crashing plugin entered backoff quarantine.",
+              plugin="str", crashes="int", quarantined_until_ms="float"),
+        _spec("plugin_blocklisted", "plugin",
+              "A repeatedly crashing plugin was blocklisted.",
+              plugin="str"),
+        _spec("plugin_exchange_retry", "plugin",
+              "The plugin exchange retried a request.",
+              plugin="str", attempt="int"),
+        _spec("plugin_exchange_degraded", "plugin",
+              "The exchange gave up and the connection degraded "
+              "to run without the plugin.",
+              plugin="str", reason="str"),
+        _spec("plugin_exchange_completed", "plugin",
+              "The plugin was received, validated and cached.",
+              plugin="str", compressed_length="int"),
+        # --- PRE execution ------------------------------------------------
+        _spec("pluglet_profile", "pre",
+              "Aggregated PRE execution profile for one pluglet on one "
+              "protocol operation (emitted when a profiled trace closes).",
+              plugin="str", pluglet="str", protoop="str",
+              invocations="int", fuel="int", helper_calls="int",
+              wall_ms="float", faults="int", jit_runs="int",
+              interp_runs="int", path="str"),
+        # --- simulator ----------------------------------------------------
+        _spec("sim_summary", "sim",
+              "End-of-run simulator accounting.",
+              events_fired="int", pending="int", now_ms="float"),
+        # --- trace meta ---------------------------------------------------
+        _spec("truncated", "trace",
+              "The tracer hit max_events; `dropped` events were lost.",
+              dropped="int", recorded="int"),
+    ]
+}
+
+
+def validate_event(record: dict) -> None:
+    """Validate one event record (``{"type": "event", ...}`` or the bare
+    ``{"time", "category", "name", "data"}`` shape)."""
+    if not isinstance(record, dict):
+        raise SchemaError(f"event record must be a dict, got {type(record)}")
+    rtype = record.get("type", RECORD_EVENT)
+    if rtype != RECORD_EVENT:
+        raise SchemaError(f"not an event record: type={rtype!r}")
+    for key in ("time", "category", "name", "data"):
+        if key not in record:
+            raise SchemaError(f"event record missing {key!r}")
+    if not _is_float(record["time"]) or record["time"] < 0:
+        raise SchemaError(f"bad event time {record['time']!r}")
+    name = record["name"]
+    spec = EVENT_CATALOG.get(name)
+    if spec is None:
+        raise SchemaError(f"unknown event {name!r}")
+    if record["category"] != spec.category:
+        raise SchemaError(
+            f"event {name!r}: category {record['category']!r} != "
+            f"schema category {spec.category!r}")
+    data = record["data"]
+    if not isinstance(data, dict):
+        raise SchemaError(f"event {name!r}: data must be a dict")
+    spec.validate_data(data)
+
+
+def validate_record(record: dict) -> str:
+    """Validate any JSONL record; returns its type tag."""
+    rtype = record.get("type")
+    if rtype == RECORD_HEADER:
+        if record.get("schema") != TRACE_SCHEMA_VERSION:
+            raise SchemaError(
+                f"unsupported schema {record.get('schema')!r} "
+                f"(expected {TRACE_SCHEMA_VERSION})")
+        if record.get("vantage_point") not in ("client", "server", "unknown"):
+            raise SchemaError(
+                f"bad vantage_point {record.get('vantage_point')!r}")
+        return RECORD_HEADER
+    if rtype == RECORD_FOOTER:
+        if not _is_int(record.get("events")) or record["events"] < 0:
+            raise SchemaError("footer: bad 'events' count")
+        if not _is_int(record.get("dropped")) or record["dropped"] < 0:
+            raise SchemaError("footer: bad 'dropped' count")
+        return RECORD_FOOTER
+    validate_event(record)
+    return RECORD_EVENT
+
+
+def validate_stream(records, require_header: bool = True,
+                    require_footer: bool = True) -> dict:
+    """Validate a full JSONL stream; returns summary statistics.
+
+    ``records`` is any iterable of parsed JSON objects in stream order.
+    """
+    counts: dict = {"events": 0, "by_name": {}}
+    saw_header = saw_footer = False
+    footer: Optional[dict] = None
+    for i, record in enumerate(records):
+        rtype = validate_record(record)
+        if rtype == RECORD_HEADER:
+            if i != 0:
+                raise SchemaError("header record not first in stream")
+            saw_header = True
+        elif rtype == RECORD_FOOTER:
+            saw_footer = True
+            footer = record
+        else:
+            if saw_footer:
+                raise SchemaError("event record after footer")
+            counts["events"] += 1
+            by = counts["by_name"]
+            by[record["name"]] = by.get(record["name"], 0) + 1
+    if require_header and not saw_header:
+        raise SchemaError("stream has no header record")
+    if require_footer and not saw_footer:
+        raise SchemaError("stream has no footer record")
+    if footer is not None and footer["events"] != counts["events"]:
+        raise SchemaError(
+            f"footer claims {footer['events']} events, "
+            f"stream has {counts['events']}")
+    return counts

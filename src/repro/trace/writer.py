@@ -1,0 +1,107 @@
+"""Streaming JSONL output for traces.
+
+One JSON object per line: a ``header`` record (schema version, vantage
+point), any number of ``event`` records, and a closing ``footer`` record
+carrying the event/drop totals so a consumer can detect truncated files.
+Events are written as they are recorded — a crashed run still leaves a
+parseable prefix — which is what lets CI upload traces of long smoke runs
+without buffering them in memory.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import pathlib
+from typing import Optional, Union
+
+from .schema import (
+    RECORD_EVENT,
+    RECORD_FOOTER,
+    RECORD_HEADER,
+    TRACE_SCHEMA_VERSION,
+)
+
+
+class JsonlTraceWriter:
+    """Writes a trace stream to a path or a file-like object."""
+
+    def __init__(self, target: Union[str, pathlib.Path, io.IOBase],
+                 title: str = "pquic-repro trace"):
+        if isinstance(target, (str, pathlib.Path)):
+            self._fp = open(target, "w", encoding="utf-8")
+            self._owns_fp = True
+        else:
+            self._fp = target
+            self._owns_fp = False
+        self.title = title
+        self.events_written = 0
+        self._header_written = False
+        self._closed = False
+
+    def _write(self, record: dict) -> None:
+        self._fp.write(json.dumps(record, separators=(",", ":")) + "\n")
+
+    def write_header(self, vantage_point: str = "unknown",
+                     **extra) -> None:
+        if self._header_written:
+            return
+        self._header_written = True
+        record = {"type": RECORD_HEADER, "schema": TRACE_SCHEMA_VERSION,
+                  "title": self.title, "vantage_point": vantage_point}
+        record.update(extra)
+        self._write(record)
+
+    def write_event(self, record: dict) -> None:
+        if self._closed:
+            raise ValueError("writer already closed")
+        if not self._header_written:
+            self.write_header()
+        if record.get("type") != RECORD_EVENT:
+            record = dict(record)
+            record["type"] = RECORD_EVENT
+        self._write(record)
+        self.events_written += 1
+
+    def close(self, dropped: int = 0) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        if not self._header_written:
+            self.write_header()
+        self._write({"type": RECORD_FOOTER, "events": self.events_written,
+                     "dropped": dropped})
+        self._fp.flush()
+        if self._owns_fp:
+            self._fp.close()
+
+
+def read_jsonl(source: Union[str, pathlib.Path, io.IOBase]) -> dict:
+    """Parse a JSONL trace back into ``{header, events, footer}``.
+
+    Purely structural — no schema validation; feed ``events`` (or all
+    ``records``) to :func:`repro.trace.schema.validate_stream` for that.
+    """
+    if isinstance(source, (str, pathlib.Path)):
+        with open(source, "r", encoding="utf-8") as fp:
+            lines = fp.read().splitlines()
+    else:
+        lines = source.read().splitlines()
+    header: Optional[dict] = None
+    footer: Optional[dict] = None
+    events = []
+    records = []
+    for line in lines:
+        if not line.strip():
+            continue
+        record = json.loads(line)
+        records.append(record)
+        rtype = record.get("type")
+        if rtype == RECORD_HEADER:
+            header = record
+        elif rtype == RECORD_FOOTER:
+            footer = record
+        else:
+            events.append(record)
+    return {"header": header, "events": events, "footer": footer,
+            "records": records}

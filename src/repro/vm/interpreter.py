@@ -100,6 +100,10 @@ class PluginMemory:
 class VirtualMachine:
     """Executes one pluglet's bytecode against a plugin memory."""
 
+    #: Which engine executes ``run`` — the profiler attributes runs to
+    #: "interpreter" or "jit" through this (overridden by the JIT VM).
+    execution_path = "interpreter"
+
     def __init__(
         self,
         instructions: list,
@@ -119,6 +123,20 @@ class VirtualMachine:
         #: The running invocation's stack, visible to helpers so they can
         #: resolve stack addresses a pluglet passes them.
         self.current_stack: Optional[bytearray] = None
+
+    def counters(self) -> dict:
+        """Cumulative execution counters (profiling/monitoring hook).
+
+        Profilers snapshot these around ``run`` and attribute the deltas;
+        both engines account identically (the JIT's batched fuel charges
+        match the interpreter's at every observable event), so the
+        numbers are engine-independent.
+        """
+        return {
+            "instructions_executed": self.instructions_executed,
+            "helper_calls_made": self.helper_calls_made,
+            "execution_path": self.execution_path,
+        }
 
     # --- memory monitor ----------------------------------------------------
 

@@ -513,6 +513,12 @@ class JitVirtualMachine(VirtualMachine):
     def jit_enabled(self) -> bool:
         return self.jit_function is not None
 
+    @property
+    def execution_path(self) -> str:  # type: ignore[override]
+        """"jit" when runs go through the compiled closure, else the
+        interpreter fallback (profiling attribution)."""
+        return "jit" if self.jit_function is not None else "interpreter"
+
     def run(self, *args: int) -> int:
         fn = self.jit_function
         if fn is None:

@@ -49,6 +49,50 @@ def test_trace_outputs_qlog_json(capsys):
     assert doc["traces"][0]["events"]
 
 
+def test_trace_streams_validated_jsonl(capsys, tmp_path):
+    from repro.trace import read_jsonl, validate_stream
+
+    path = tmp_path / "trace.jsonl"
+    code, out = run_cli(capsys, "trace", "--size", "20000",
+                        "--plugins", "monitoring",
+                        "--jsonl", str(path), "--validate")
+    assert code == 0
+    assert "wrote" in out and "events" in out
+    doc = read_jsonl(path)
+    counts = validate_stream(doc["records"])
+    assert counts["events"] > 0
+    assert counts["by_name"]["plugin_injected"] == 1
+    # Profiling rides along when plugins are traced.
+    assert counts["by_name"]["pluglet_profile"] > 0
+    assert doc["footer"]["dropped"] == 0
+
+
+def test_trace_max_events_reports_truncation(capsys, tmp_path):
+    from repro.trace import read_jsonl
+
+    path = tmp_path / "trace.jsonl"
+    code, out = run_cli(capsys, "trace", "--size", "20000",
+                        "--jsonl", str(path), "--max-events", "5")
+    assert code == 0
+    assert "dropped" in out
+    doc = read_jsonl(path)
+    assert doc["events"][-1]["name"] == "truncated"
+    assert doc["footer"]["dropped"] > 0
+
+
+def test_profile_attributes_pluglet_costs(capsys):
+    code, out = run_cli(capsys, "profile", "--size", "30000",
+                        "--plugins", "monitoring", "fec-xor")
+    assert code == 0
+    # The attribution table names both plugins and carries the columns
+    # the acceptance demo asks for.
+    assert "monitoring" in out
+    assert "fec" in out
+    assert "fuel" in out and "wall-ms" in out and "helpers" in out
+    assert "total:" in out
+    assert "host protoop dispatches:" in out
+
+
 def test_unknown_plugin_rejected():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["transfer", "--plugins", "bogus"])

@@ -1,0 +1,201 @@
+"""Schema validation: every cataloged event, every failure mode, and a
+real traced transfer checked strictly against the catalog."""
+
+import pytest
+
+from repro.trace import (
+    EVENT_CATALOG,
+    SchemaError,
+    TRACE_SCHEMA_VERSION,
+    validate_event,
+    validate_record,
+    validate_stream,
+)
+from repro.trace.schema import CATEGORIES
+
+#: One schema-valid example value per type tag.
+EXAMPLES = {"int": 7, "float": 1.25, "bool": True, "str": "x"}
+
+
+def example_data(spec, include_optional=True):
+    return {
+        name: EXAMPLES[tag] for name, tag in spec.fields.items()
+        if include_optional or name not in spec.optional
+    }
+
+
+def example_record(spec, **overrides):
+    record = {"type": "event", "time": 12.5, "category": spec.category,
+              "name": spec.name, "data": example_data(spec)}
+    record.update(overrides)
+    return record
+
+
+class TestCatalog:
+    def test_catalog_is_nonempty_and_covers_all_layers(self):
+        categories = {spec.category for spec in EVENT_CATALOG.values()}
+        # The tentpole requirement: transport, recovery, plugin lifecycle
+        # and PRE execution all observable through one schema.
+        for required in ("transport", "recovery", "plugin", "pre", "trace"):
+            assert required in categories
+
+    def test_every_category_is_declared(self):
+        for spec in EVENT_CATALOG.values():
+            assert spec.category in CATEGORIES
+
+    @pytest.mark.parametrize("name", sorted(EVENT_CATALOG))
+    def test_every_event_validates_with_example_data(self, name):
+        validate_event(example_record(EVENT_CATALOG[name]))
+
+    @pytest.mark.parametrize("name", sorted(EVENT_CATALOG))
+    def test_optional_fields_may_be_absent(self, name):
+        spec = EVENT_CATALOG[name]
+        record = example_record(spec)
+        record["data"] = example_data(spec, include_optional=False)
+        validate_event(record)
+
+
+class TestStrictness:
+    def spec(self):
+        return EVENT_CATALOG["packet_sent"]
+
+    def test_unknown_event_rejected(self):
+        record = example_record(self.spec(), name="no_such_event")
+        with pytest.raises(SchemaError, match="unknown event"):
+            validate_event(record)
+
+    def test_missing_required_field_rejected(self):
+        record = example_record(self.spec())
+        del record["data"]["packet_number"]
+        with pytest.raises(SchemaError, match="missing required field"):
+            validate_event(record)
+
+    def test_extra_field_rejected(self):
+        record = example_record(self.spec())
+        record["data"]["surprise"] = 1
+        with pytest.raises(SchemaError, match="unknown field"):
+            validate_event(record)
+
+    def test_type_mismatch_rejected(self):
+        record = example_record(self.spec())
+        record["data"]["packet_number"] = "not-an-int"
+        with pytest.raises(SchemaError, match="expects int"):
+            validate_event(record)
+
+    def test_bool_is_not_an_int(self):
+        # bool subclasses int in Python; the schema must not accept it.
+        record = example_record(self.spec())
+        record["data"]["size"] = True
+        with pytest.raises(SchemaError, match="expects int"):
+            validate_event(record)
+
+    def test_int_accepted_where_float_expected(self):
+        record = example_record(EVENT_CATALOG["metrics_updated"])
+        record["data"]["latest_rtt_ms"] = 3  # JSON has one number type
+        validate_event(record)
+
+    def test_category_mismatch_rejected(self):
+        record = example_record(self.spec(), category="recovery")
+        with pytest.raises(SchemaError, match="category"):
+            validate_event(record)
+
+    def test_negative_time_rejected(self):
+        record = example_record(self.spec(), time=-1.0)
+        with pytest.raises(SchemaError, match="bad event time"):
+            validate_event(record)
+
+
+class TestStreamValidation:
+    def header(self):
+        return {"type": "header", "schema": TRACE_SCHEMA_VERSION,
+                "vantage_point": "client"}
+
+    def footer(self, events=0, dropped=0):
+        return {"type": "footer", "events": events, "dropped": dropped}
+
+    def test_valid_stream(self):
+        stream = [self.header(),
+                  example_record(EVENT_CATALOG["packet_sent"]),
+                  example_record(EVENT_CATALOG["packet_lost"]),
+                  self.footer(events=2)]
+        counts = validate_stream(stream)
+        assert counts["events"] == 2
+        assert counts["by_name"] == {"packet_sent": 1, "packet_lost": 1}
+
+    def test_wrong_schema_version_rejected(self):
+        bad = self.header()
+        bad["schema"] = "repro-trace/999.0"
+        with pytest.raises(SchemaError, match="unsupported schema"):
+            validate_stream([bad, self.footer()])
+
+    def test_missing_header_rejected(self):
+        with pytest.raises(SchemaError, match="no header"):
+            validate_stream([self.footer()])
+
+    def test_missing_footer_rejected(self):
+        with pytest.raises(SchemaError, match="no footer"):
+            validate_stream([self.header()])
+
+    def test_footer_count_mismatch_rejected(self):
+        stream = [self.header(),
+                  example_record(EVENT_CATALOG["packet_sent"]),
+                  self.footer(events=5)]
+        with pytest.raises(SchemaError, match="footer claims"):
+            validate_stream(stream)
+
+    def test_event_after_footer_rejected(self):
+        stream = [self.header(), self.footer(),
+                  example_record(EVENT_CATALOG["packet_sent"])]
+        with pytest.raises(SchemaError, match="after footer"):
+            validate_stream(stream)
+
+    def test_validate_record_returns_type_tags(self):
+        assert validate_record(self.header()) == "header"
+        assert validate_record(self.footer()) == "footer"
+        assert validate_record(
+            example_record(EVENT_CATALOG["packet_sent"])) == "event"
+
+
+class TestRealTraceIsSchemaValid:
+    def test_traced_transfer_validates_strictly(self):
+        """End-to-end: every event a real plugin-bearing transfer emits
+        conforms to the catalog (validate=True raises on the first
+        violation, at the emitter)."""
+        from repro.core import PluginInstance
+        from repro.netsim import Simulator, symmetric_topology
+        from repro.plugins.monitoring import build_monitoring_plugin
+        from repro.quic import ClientEndpoint, ServerEndpoint
+        from repro.trace import ConnectionTracer
+
+        sim = Simulator()
+        topo = symmetric_topology(sim, d_ms=5, bw_mbps=20, loss_pct=2.0,
+                                  seed=3)
+        server = ServerEndpoint(sim, topo.server, "server.0", 443)
+        done = [False]
+        server.on_connection = lambda conn: setattr(
+            conn, "on_stream_data",
+            lambda sid, d, fin: done.__setitem__(0, fin))
+        client = ClientEndpoint(sim, topo.client, "client.0", 5000,
+                                "server.0", 443)
+        tracer = ConnectionTracer(client.conn, validate=True)
+        PluginInstance(build_monitoring_plugin(), client.conn).attach()
+        client.connect()
+        assert sim.run_until(lambda: client.conn.is_established, timeout=5)
+        sid = client.conn.create_stream()
+        client.conn.send_stream_data(sid, b"s" * 60_000, fin=True)
+        client.pump()
+        assert sim.run_until(lambda: done[0], timeout=120)
+        tracer.finish()
+
+        assert tracer.events, "trace recorded nothing"
+        # Re-validate the whole lot as records (belt and braces) and
+        # check the layers all showed up.
+        names = set()
+        for event in tracer.events:
+            validate_event(event.as_record())
+            names.add(event.name)
+        assert "packet_sent" in names
+        assert "packet_received" in names
+        assert "plugin_injected" in names
+        # 2% loss on a 60 kB transfer: recovery events must appear.
+        assert "metrics_updated" in names

@@ -1,0 +1,137 @@
+"""ConnectionTracer: drop accounting, the truncated marker, streaming,
+profiler export, and finish idempotence."""
+
+import io
+import json
+
+from repro.core import PluginInstance
+from repro.netsim import Simulator, symmetric_topology
+from repro.plugins.monitoring import build_monitoring_plugin
+from repro.quic import ClientEndpoint, QuicConfiguration, ServerEndpoint
+from repro.quic.connection import QuicConnection
+from repro.trace import (
+    ConnectionTracer,
+    JsonlTraceWriter,
+    PreProfiler,
+    read_jsonl,
+    validate_stream,
+)
+
+
+def run_traced_transfer(size=40_000, max_events=100_000, writer=None,
+                        validate=False, profile=False, plugins=()):
+    sim = Simulator()
+    topo = symmetric_topology(sim, d_ms=5, bw_mbps=20, seed=2)
+    server = ServerEndpoint(sim, topo.server, "server.0", 443)
+    done = [False]
+    server.on_connection = lambda conn: setattr(
+        conn, "on_stream_data", lambda sid, d, fin: done.__setitem__(0, fin))
+    client = ClientEndpoint(sim, topo.client, "client.0", 5000,
+                            "server.0", 443)
+    if profile:
+        PreProfiler().attach(client.conn)
+    tracer = ConnectionTracer(client.conn, max_events=max_events,
+                              writer=writer, validate=validate)
+    for build in plugins:
+        PluginInstance(build(), client.conn).attach()
+    client.connect()
+    assert sim.run_until(lambda: client.conn.is_established, timeout=5)
+    sid = client.conn.create_stream()
+    client.conn.send_stream_data(sid, b"x" * size, fin=True)
+    client.pump()
+    assert sim.run_until(lambda: done[0], timeout=120)
+    tracer.finish()
+    return tracer
+
+
+class TestDropAccounting:
+    def test_drops_are_counted_not_silent(self):
+        tracer = run_traced_transfer(max_events=10)
+        assert tracer.dropped > 0
+        # The cap holds for regular events; the truncated marker rides
+        # on top of it, because losing the loss report would be absurd.
+        assert len(tracer.events) == 11
+        marker = tracer.events[-1]
+        assert marker.name == "truncated"
+        assert marker.category == "trace"
+        assert marker.data["dropped"] == tracer.dropped
+        assert marker.data["recorded"] == 10
+
+    def test_no_marker_when_nothing_dropped(self):
+        tracer = run_traced_transfer(max_events=100_000)
+        assert tracer.dropped == 0
+        assert all(e.name != "truncated" for e in tracer.events)
+
+    def test_truncated_marker_streams_to_writer(self):
+        buf = io.StringIO()
+        tracer = run_traced_transfer(max_events=10,
+                                     writer=JsonlTraceWriter(buf))
+        doc = read_jsonl(io.StringIO(buf.getvalue()))
+        assert doc["events"][-1]["name"] == "truncated"
+        assert doc["footer"]["dropped"] == tracer.dropped
+        validate_stream(doc["records"])
+
+
+class TestStreaming:
+    def test_jsonl_stream_is_schema_valid(self):
+        buf = io.StringIO()
+        tracer = run_traced_transfer(writer=JsonlTraceWriter(buf),
+                                     validate=True,
+                                     plugins=[build_monitoring_plugin])
+        doc = read_jsonl(io.StringIO(buf.getvalue()))
+        counts = validate_stream(doc["records"])
+        assert counts["events"] == len(tracer.events)
+        assert doc["header"]["vantage_point"] == "client"
+        assert counts["by_name"]["packet_sent"] > 0
+        assert counts["by_name"]["plugin_injected"] == 1
+
+    def test_events_stream_as_recorded_not_buffered(self):
+        buf = io.StringIO()
+        writer = JsonlTraceWriter(buf)
+        conn = QuicConnection(QuicConfiguration(is_client=True))
+        conn.now = 0.0
+        tracer = ConnectionTracer(conn, writer=writer)
+        tracer.record_event("connectivity", "connection_established")
+        # Before finish(): header + the event are already on the wire.
+        lines = buf.getvalue().splitlines()
+        assert len(lines) == 2
+        assert json.loads(lines[1])["name"] == "connection_established"
+        tracer.finish()
+
+
+class TestProfileExport:
+    def test_profiled_run_exports_pluglet_profile_events(self):
+        tracer = run_traced_transfer(profile=True,
+                                     plugins=[build_monitoring_plugin])
+        profile_events = [e for e in tracer.events
+                          if e.name == "pluglet_profile"]
+        assert profile_events
+        for event in profile_events:
+            assert event.category == "pre"
+            assert event.data["fuel"] > 0
+            assert event.data["invocations"] > 0
+
+
+class TestFinish:
+    def test_finish_is_idempotent(self):
+        buf = io.StringIO()
+        tracer = run_traced_transfer(writer=JsonlTraceWriter(buf))
+        before = (len(tracer.events), buf.getvalue())
+        tracer.finish()
+        tracer.finish()
+        assert (len(tracer.events), buf.getvalue()) == before
+
+    def test_finish_detaches_hooks(self):
+        tracer = run_traced_transfer()
+        table = tracer.conn.protoops
+        for opname in ("packet_sent_event", "rtt_updated"):
+            op = table.get(opname)
+            assert not any(op.post.values()), opname
+
+    def test_detach_alone_stops_recording(self):
+        conn = QuicConnection(QuicConfiguration(is_client=True))
+        conn.now = 0.0
+        tracer = ConnectionTracer(conn)
+        tracer.detach()
+        conn.protoops.run(conn, "connection_established", None)
+        assert tracer.events == []

@@ -1,0 +1,100 @@
+"""JSONL writer: header/footer framing, crash-tolerant prefixes, and a
+hypothesis round-trip property."""
+
+import io
+import json
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.trace import (
+    JsonlTraceWriter,
+    TRACE_SCHEMA_VERSION,
+    read_jsonl,
+    validate_stream,
+)
+
+#: Generates schema-valid packet_sent event records.
+event_records = st.builds(
+    lambda t, pn, size, path, ae: {
+        "type": "event", "time": t, "category": "transport",
+        "name": "packet_sent",
+        "data": {"packet_number": pn, "size": size, "path": path,
+                 "ack_eliciting": ae},
+    },
+    st.floats(min_value=0.0, max_value=1e9, allow_nan=False),
+    st.integers(min_value=0, max_value=2**62),
+    st.integers(min_value=0, max_value=65535),
+    st.integers(min_value=0, max_value=7),
+    st.booleans(),
+)
+
+
+class TestFraming:
+    def test_header_events_footer(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        w = JsonlTraceWriter(path)
+        w.write_header(vantage_point="client")
+        w.write_event({"time": 1.0, "category": "recovery",
+                       "name": "loss_alarm_fired", "data": {}})
+        w.close(dropped=2)
+        doc = read_jsonl(path)
+        assert doc["header"]["schema"] == TRACE_SCHEMA_VERSION
+        assert doc["header"]["vantage_point"] == "client"
+        assert len(doc["events"]) == 1
+        assert doc["events"][0]["type"] == "event"
+        assert doc["footer"] == {"type": "footer", "events": 1, "dropped": 2}
+        validate_stream(doc["records"])
+
+    def test_header_written_lazily_and_once(self):
+        buf = io.StringIO()
+        w = JsonlTraceWriter(buf)
+        w.write_event({"time": 0.0, "category": "connectivity",
+                       "name": "connection_established", "data": {}})
+        w.write_header()  # second call is a no-op
+        w.close()
+        lines = [json.loads(line) for line in
+                 buf.getvalue().splitlines()]
+        assert [r["type"] for r in lines] == ["header", "event", "footer"]
+
+    def test_write_after_close_rejected(self):
+        w = JsonlTraceWriter(io.StringIO())
+        w.close()
+        with pytest.raises(ValueError):
+            w.write_event({"time": 0.0, "category": "trace",
+                           "name": "truncated",
+                           "data": {"dropped": 1, "recorded": 1}})
+
+    def test_crashed_run_leaves_parseable_prefix(self):
+        # No close(): the stream must still parse line-by-line, with the
+        # missing footer detectable by the consumer.
+        buf = io.StringIO()
+        w = JsonlTraceWriter(buf)
+        w.write_event({"time": 0.0, "category": "connectivity",
+                       "name": "connection_closed", "data": {}})
+        doc = read_jsonl(io.StringIO(buf.getvalue()))
+        assert doc["footer"] is None
+        assert len(doc["events"]) == 1
+        validate_stream(doc["records"], require_footer=False)
+
+
+class TestRoundTrip:
+    @given(st.lists(event_records, max_size=30),
+           st.integers(min_value=0, max_value=1000))
+    def test_write_read_round_trip(self, events, dropped):
+        """What goes in comes back out: same events, same order, same
+        values, with a footer that accounts for every line."""
+        buf = io.StringIO()
+        w = JsonlTraceWriter(buf)
+        w.write_header(vantage_point="server")
+        for record in events:
+            w.write_event(dict(record))
+        w.close(dropped=dropped)
+
+        doc = read_jsonl(io.StringIO(buf.getvalue()))
+        assert doc["events"] == events
+        assert doc["footer"]["events"] == len(events)
+        assert doc["footer"]["dropped"] == dropped
+        counts = validate_stream(doc["records"])
+        assert counts["events"] == len(events)
