@@ -11,7 +11,10 @@ Commands:
 * ``trace``               — a transfer with the qlog tracer: JSON to
   stdout, or schema-validated streaming JSONL via ``--jsonl``;
 * ``profile``             — a transfer with PRE profiling: per-pluglet
-  fuel / wall-time / helper-call attribution.
+  fuel / wall-time / helper-call attribution;
+* ``lint [target...]``    — static analyzer + manifest linter over
+  built-in plugins, ``.s`` assembly files, or directories of them;
+  exits non-zero when any error-severity diagnostic fires.
 """
 
 from __future__ import annotations
@@ -120,6 +123,83 @@ def cmd_inspect(args) -> int:
     return 0
 
 
+def _lint_builtin(name: str, conn, protoop_names) -> list:
+    """Lint one built-in plugin with the host's protoop and helper sets."""
+    from repro.core.api import PluginApi
+    from repro.core.plugin import PluginRuntime
+    from repro.vm.analysis import lint_plugin
+
+    plugin = BUILTIN_PLUGINS[name]()
+    runtime = PluginRuntime(plugin, conn)
+    helper_ids = set(PluginApi(runtime).helper_table())
+    helper_ids.update(runtime.extra_helpers)
+    return [(name, d)
+            for d in lint_plugin(plugin, protoop_names, helper_ids)]
+
+
+def _lint_asm_file(path) -> list:
+    """Analyze one ``.s`` file (bare bytecode: no manifest checks)."""
+    from repro.vm.analysis import Diagnostic, Severity, analyze
+    from repro.vm.asm import AssemblyError, assemble
+
+    try:
+        program = assemble(path.read_text())
+    except (AssemblyError, OSError) as exc:
+        return [(str(path),
+                 Diagnostic("PRE000", Severity.ERROR,
+                            f"assembly failed: {exc}"))]
+    return [(str(path), d) for d in analyze(program).diagnostics]
+
+
+def cmd_lint(args) -> int:
+    from pathlib import Path
+
+    from repro.quic import QuicConfiguration
+    from repro.quic.connection import QuicConnection
+
+    conn = QuicConnection(QuicConfiguration(is_client=True))
+    protoop_names = set(conn.protoops.names)
+
+    found = []  # (target, Diagnostic)
+    targets = args.targets or sorted(BUILTIN_PLUGINS)
+    for target in targets:
+        if target in BUILTIN_PLUGINS:
+            found.extend(_lint_builtin(target, conn, protoop_names))
+            continue
+        path = Path(target)
+        if path.is_dir():
+            files = sorted(path.rglob("*.s"))
+            if not files:
+                print(f"{target}: no .s files found", file=sys.stderr)
+                return 2
+            for f in files:
+                found.extend(_lint_asm_file(f))
+        elif path.is_file():
+            found.extend(_lint_asm_file(path))
+        else:
+            print(f"unknown plugin or path: {target}", file=sys.stderr)
+            return 2
+
+    from repro.vm.analysis import Severity
+
+    errors = warnings = 0
+    for target, diag in found:
+        if diag.severity is Severity.ERROR:
+            errors += 1
+        elif diag.severity is Severity.WARNING:
+            warnings += 1
+        if diag.severity is Severity.WARNING and args.quiet:
+            continue
+        print(f"{target}: {diag.format()}")
+    print(f"{len(targets)} target(s): {errors} error(s), "
+          f"{warnings} warning(s)")
+    if errors:
+        return 1
+    if warnings and args.strict:
+        return 1
+    return 0
+
+
 def cmd_trace(args) -> int:
     from repro.core import PluginInstance
     from repro.netsim import Simulator, symmetric_topology
@@ -220,6 +300,17 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("inspect", help="analyze a built-in plugin")
     p.add_argument("plugin", choices=sorted(BUILTIN_PLUGINS))
     p.set_defaults(func=cmd_inspect)
+
+    p = sub.add_parser("lint",
+                       help="static-analyze plugins or .s bytecode files")
+    p.add_argument("targets", nargs="*",
+                   help="built-in plugin names, .s files or directories "
+                        "(default: every built-in plugin)")
+    p.add_argument("--strict", action="store_true",
+                   help="treat warnings as errors")
+    p.add_argument("--quiet", action="store_true",
+                   help="print errors only")
+    p.set_defaults(func=cmd_lint)
 
     p = sub.add_parser("trace", help="qlog-style trace of a transfer")
     p.add_argument("--size", type=int, default=50_000)

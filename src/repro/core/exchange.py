@@ -36,6 +36,7 @@ from typing import Callable, Optional
 from repro.quic import frames as F
 from repro.quic.connection import QuicConnection, ReservedFrame
 from repro.quic.wire import Buffer
+from repro.vm.analysis import LEGACY_RULES, Severity, analysis_enabled_by_env
 from repro.secure.formula import Formula, parse_formula
 from repro.secure.merkle import AuthenticationPath, verify_path
 from repro.secure.validator import SignedTreeRoot
@@ -521,14 +522,16 @@ class PluginExchanger:
             return
         reason = self._verify_incoming(name, compressed, state.proofs)
         if reason is None:
-            del self._incoming[name]
-            self.pending.pop(name, None)
-            self.rejected.pop(name, None)
             plugin = Plugin.decompress(compressed)
-            self.cache.store(plugin)
-            self.received.append(name)
-            self._emit("plugin_exchange_completed", name, len(compressed))
-            return
+            reason = self._analyze_received(plugin)
+            if reason is None:
+                del self._incoming[name]
+                self.pending.pop(name, None)
+                self.rejected.pop(name, None)
+                self.cache.store(plugin)
+                self.received.append(name)
+                self._emit("plugin_exchange_completed", name, len(compressed))
+                return
         self.rejected[name] = reason
         if "unsatisfied" not in reason:
             # Definitive failure; a formula-unsatisfied plugin stays
@@ -537,6 +540,28 @@ class PluginExchanger:
             self.pending.pop(name, None)
             self.degraded[name] = reason
             self._emit("plugin_exchange_degraded", name, reason)
+
+    def _analyze_received(self, plugin: Plugin) -> Optional[str]:
+        """Static-analysis gate on a reassembled plugin.
+
+        The attach-time verifier would reject the plugin anyway; running
+        the analyzer here keeps statically-broken bytecode out of the
+        cache entirely and turns the failure into a graceful degrade with
+        a precise diagnostic (rule id + pc) instead of a later attach
+        error.  Only the §2.1 acceptance rules reject — deeper analyzer
+        findings (unproven memory, loops) stay advisory, matching
+        ``Plugin.verify_all``.  Returns a rejection reason or None."""
+        if not analysis_enabled_by_env():
+            return None
+        for pluglet_name, report in plugin.analyze_all().items():
+            for diag in report.diagnostics:
+                if diag.rule in LEGACY_RULES and diag.severity is Severity.ERROR:
+                    where = (f" at instruction {diag.pc}"
+                             if diag.pc is not None else "")
+                    return (f"static analysis: pluglet {pluglet_name}: "
+                            f"{diag.severity}[{diag.rule}]: "
+                            f"{diag.message}{where}")
+        return None
 
     def _verify_incoming(self, name: str, compressed: bytes, proofs: list):
         """Check of the proof of consistency (§3.3 / Figure 5).

@@ -23,6 +23,7 @@ from typing import Any, Callable, Optional
 
 from repro.errors import TransportError, TransportErrorCode
 from repro.quic.wire import Buffer
+from repro.vm.analysis import analysis_enabled_by_env, analyze_plugin
 from repro.vm.compiler import compile_pluglet
 from repro.vm.interpreter import (
     DEFAULT_FUEL,
@@ -140,6 +141,7 @@ class Plugin:
         self.host_helpers = host_helpers
         #: Optional hook: (conn) -> None registering new frame codecs.
         self.frame_registrar = frame_registrar
+        self._analysis: Optional[dict] = None
 
     # --- serialization (the §3.1 binding) -------------------------------
 
@@ -213,6 +215,15 @@ class Plugin:
                 raise VerificationError(
                     f"plugin {self.name}: pluglet {p.name}: {exc}"
                 )
+
+    def analyze_all(self) -> dict:
+        """Static-analyzer reports for every pluglet, keyed by pluglet
+        name.  Cached: the pluglet list is immutable once distributed (it
+        is the §3.1 binding), so one analysis serves every connection the
+        plugin attaches to."""
+        if self._analysis is None:
+            self._analysis = analyze_plugin(self)
+        return self._analysis
 
     def stats(self) -> dict:
         """Table-2 style statistics."""
@@ -321,13 +332,21 @@ class PluginInstance:
         helper_table = api.helper_table()
         self.vms: dict[str, VirtualMachine] = {}
         self._attached: list = []  # (protoop, anchor, func, param)
+        #: Static-analysis reports per pluglet — drives proof-guided JIT
+        #: specialization and the ``plugin_analyzed`` event; empty when
+        #: ``REPRO_ANALYSIS=0``.
+        self.analysis_reports: dict = (
+            plugin.analyze_all() if analysis_enabled_by_env() else {}
+        )
         for p in plugin.pluglets:
             # JIT-compiled PRE with automatic interpreter fallback (the
-            # paper JITs pluglet bytecode; see repro/vm/jit.py).
+            # paper JITs pluglet bytecode; see repro/vm/jit.py).  Proofs
+            # from the analyzer let the JIT drop its inlined monitor.
             self.vms[p.name] = create_vm(
                 p.instructions, self.runtime.memory, helpers=helper_table,
                 instruction_budget=p.fuel or DEFAULT_FUEL,
                 helper_call_budget=p.helper_budget or DEFAULT_HELPER_BUDGET,
+                analysis=self.analysis_reports.get(p.name),
             )
         self.attached = False
         #: PRE profiler (see :mod:`repro.trace.profile`), None when
@@ -428,6 +447,23 @@ class PluginInstance:
         self.attached = True
         self.conn.plugins[self.plugin.name] = self
         self.conn.protoops.run(self.conn, "plugin_injected", None, self.plugin.name)
+        self._emit_analysis_event()
+
+    def _emit_analysis_event(self) -> None:
+        """Surface the attach-time static analysis as a protoop event
+        (traced as ``plugin:analysis``): diagnostic totals plus how many
+        pluglets were proven fully memory-safe."""
+        reports = self.analysis_reports
+        if not reports:
+            return
+        table = self.conn.protoops
+        if not table.exists("plugin_analyzed"):
+            table.declare("plugin_analyzed")
+        errors = sum(len(r.errors()) for r in reports.values())
+        warnings = sum(len(r.warnings()) for r in reports.values())
+        proven = sum(1 for r in reports.values() if r.memory_safe)
+        table.run(self.conn, "plugin_analyzed", None, self.plugin.name,
+                  len(reports), errors, warnings, proven)
 
     def _attach_one(self, pluglet: Pluglet) -> None:
         table = self.conn.protoops

@@ -144,6 +144,11 @@ EVENT_CATALOG: dict = {
         _spec("plugin_exchange_completed", "plugin",
               "The plugin was received, validated and cached.",
               plugin="str", compressed_length="int"),
+        _spec("analysis", "plugin",
+              "Attach-time static analysis of a plugin's bytecode: "
+              "diagnostic totals and pluglets proven memory-safe.",
+              plugin="str", pluglets="int", errors="int",
+              warnings="int", proven="int"),
         # --- PRE execution ------------------------------------------------
         _spec("pluglet_profile", "pre",
               "Aggregated PRE execution profile for one pluglet on one "

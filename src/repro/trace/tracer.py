@@ -127,6 +127,12 @@ def _d_exchange_completed(args, result):
     return {"plugin": plugin, "compressed_length": length}
 
 
+def _d_analysis(args, result):
+    plugin, pluglets, errors, warnings, proven = args
+    return {"plugin": plugin, "pluglets": pluglets, "errors": errors,
+            "warnings": warnings, "proven": proven}
+
+
 HOOKS = {
     "packet_sent_event": ("transport", "packet_sent", _d_packet_sent),
     "packet_received_event": ("transport", "packet_received",
@@ -150,6 +156,7 @@ HOOKS = {
                                  _d_exchange_degraded),
     "plugin_exchange_completed": ("plugin", "plugin_exchange_completed",
                                   _d_exchange_completed),
+    "plugin_analyzed": ("plugin", "analysis", _d_analysis),
 }
 
 

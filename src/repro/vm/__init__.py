@@ -1,5 +1,14 @@
 """The Pluglet Runtime Environment: ISA, verifier, interpreter, JIT, compiler."""
 
+from .analysis import (
+    AnalysisReport,
+    Diagnostic,
+    Severity,
+    analysis_enabled_by_env,
+    analyze,
+    analyze_plugin,
+    lint_plugin,
+)
 from .asm import AssemblyError, assemble, disassemble
 from .compiler import CompileError, PlugletCompiler, compile_pluglet
 from .jit import (
@@ -32,8 +41,11 @@ from .isa import (
 from .verifier import VerificationError, verify, verify_bytecode
 
 __all__ = [
+    "AnalysisReport",
     "AssemblyError",
     "CompileError",
+    "Diagnostic",
+    "Severity",
     "DEFAULT_FUEL",
     "DEFAULT_HELPER_BUDGET",
     "ExecutionError",
@@ -52,8 +64,12 @@ __all__ = [
     "VerificationError",
     "VirtualMachine",
     "VmError",
+    "analysis_enabled_by_env",
+    "analyze",
+    "analyze_plugin",
     "assemble",
     "compile_jit",
+    "lint_plugin",
     "compile_pluglet",
     "create_vm",
     "decode_program",

@@ -1,0 +1,56 @@
+"""Static analysis of PRE bytecode: CFG, abstract interpretation, rules.
+
+The package upgrades the paper's "simple checks" (§2.1) to a real
+dataflow analyzer.  :func:`analyze` builds a control-flow graph
+(:mod:`.cfg`), runs a worklist abstract interpretation with an unsigned
+interval domain (:mod:`.absint` / :mod:`.domain`), evaluates the rule
+catalog (:mod:`.rules`) and returns an :class:`AnalysisReport` whose
+proofs — ``memory_safe``, ``loop_free``, ``fuel_bound`` and per-access
+region facts — let :mod:`repro.vm.jit` drop its inlined runtime monitor.
+
+``REPRO_ANALYSIS=0`` disables attach-time analysis and proof-guided JIT
+specialization throughout (mirroring ``REPRO_JIT``); the lint toolchain
+(``repro lint``, ``tools/lint_plugins.py``) always analyzes.
+"""
+
+from __future__ import annotations
+
+import os
+
+from .absint import AbstractInterpretation, AbsState, interpret
+from .cfg import BasicBlock, ControlFlowGraph, build_cfg
+from .manifest import analyze_plugin, lint_plugin
+from .report import AnalysisReport, Diagnostic, Severity
+from .rules import (
+    DEFAULT_HEAP_SIZE,
+    DEFAULT_MAX_INSTRUCTIONS,
+    LEGACY_RULES,
+    RULES,
+    analyze,
+)
+
+__all__ = [
+    "AbsState",
+    "AbstractInterpretation",
+    "AnalysisReport",
+    "BasicBlock",
+    "ControlFlowGraph",
+    "DEFAULT_HEAP_SIZE",
+    "DEFAULT_MAX_INSTRUCTIONS",
+    "Diagnostic",
+    "LEGACY_RULES",
+    "RULES",
+    "Severity",
+    "analysis_enabled_by_env",
+    "analyze",
+    "analyze_plugin",
+    "build_cfg",
+    "interpret",
+    "lint_plugin",
+]
+
+
+def analysis_enabled_by_env() -> bool:
+    """Attach-time analysis and proof-guided JIT specialization are on by
+    default; ``REPRO_ANALYSIS=0`` reverts to the pre-analyzer behavior."""
+    return os.environ.get("REPRO_ANALYSIS", "1") != "0"

@@ -1,0 +1,121 @@
+"""Manifest-level lint: plugin metadata cross-checked with the analyzer.
+
+The bytecode rules (:mod:`.rules`) see one program at a time; this layer
+sees the whole plugin manifest — pluglet names, protocol-operation
+bindings, anchors and runtime budgets — and cross-checks them against
+what the analyzer proved:
+
+* ``PRE110`` — a declared fuel / helper budget smaller than the
+  analyzer's worst-case bound (the pluglet *will* exhaust it);
+* ``PRE111`` — a protocol-operation name the host does not know (with a
+  close-match suggestion for typos);
+* ``PRE112`` — an unknown anchor;
+* ``PRE113`` — a helper id called by the bytecode but absent from the
+  host helper table.
+
+The plugin argument is duck-typed (``name`` / ``pluglets`` /
+``memory_size``) so this module stays below :mod:`repro.core` in the
+layering.
+"""
+
+from __future__ import annotations
+
+import difflib
+from dataclasses import replace
+from typing import Dict, Iterable, List, Optional
+
+from .report import AnalysisReport, Diagnostic, Severity
+from .rules import DEFAULT_HEAP_SIZE, analyze
+
+_KNOWN_ANCHORS = ("replace", "pre", "post", "external")
+
+
+def _tag(diag: Diagnostic, pluglet: str) -> Diagnostic:
+    return replace(diag, pluglet=pluglet)
+
+
+def lint_plugin(
+    plugin: object,
+    protoop_names: Optional[Iterable[str]] = None,
+    helper_ids: Optional[Iterable[int]] = None,
+) -> List[Diagnostic]:
+    """Lint one plugin: every pluglet's bytecode plus the manifest.
+
+    ``protoop_names`` / ``helper_ids`` are the host's known sets; when
+    None the corresponding manifest checks are skipped (a plugin may
+    legitimately declare new operations at attach time, so ``PRE111`` is
+    a warning, not an error).
+    """
+    reports = analyze_plugin(plugin)
+    known_ops = set(protoop_names) if protoop_names is not None else None
+    known_helpers = set(helper_ids) if helper_ids is not None else None
+
+    diagnostics: List[Diagnostic] = []
+    for pluglet in plugin.pluglets:  # type: ignore[attr-defined]
+        report = reports[pluglet.name]
+        diagnostics.extend(_tag(d, pluglet.name) for d in report.diagnostics)
+        diagnostics.extend(
+            _tag(d, pluglet.name)
+            for d in _lint_manifest_entry(pluglet, report,
+                                          known_ops, known_helpers))
+    return diagnostics
+
+
+def analyze_plugin(plugin: object) -> Dict[str, AnalysisReport]:
+    """Analyzer reports for every pluglet, keyed by pluglet name, using
+    the plugin's declared memory size for the heap proofs."""
+    heap_size = getattr(plugin, "memory_size", DEFAULT_HEAP_SIZE)
+    return {
+        p.name: analyze(p.instructions, heap_size=heap_size)
+        for p in plugin.pluglets  # type: ignore[attr-defined]
+    }
+
+
+def _lint_manifest_entry(
+    pluglet: object,
+    report: AnalysisReport,
+    known_ops: Optional[set],
+    known_helpers: Optional[set],
+) -> List[Diagnostic]:
+    diags: List[Diagnostic] = []
+    fuel = getattr(pluglet, "fuel", 0)
+    helper_budget = getattr(pluglet, "helper_budget", 0)
+    protoop = getattr(pluglet, "protoop", "")
+    anchor = getattr(pluglet, "anchor", "")
+
+    if fuel and report.fuel_bound is not None and fuel < report.fuel_bound:
+        diags.append(Diagnostic(
+            "PRE110", Severity.WARNING,
+            f"declared fuel budget {fuel} is below the analyzer's "
+            f"worst-case bound {report.fuel_bound}"))
+    if helper_budget and report.helper_bound is not None \
+            and helper_budget < report.helper_bound:
+        diags.append(Diagnostic(
+            "PRE110", Severity.WARNING,
+            f"declared helper-call budget {helper_budget} is below the "
+            f"analyzer's worst-case bound {report.helper_bound}"))
+
+    # An ``external`` pluglet *defines* a new app-facing operation
+    # (§2.2); only the anchors that hook an existing operation are
+    # checked against the host's registry.
+    if known_ops is not None and anchor != "external" \
+            and protoop not in known_ops:
+        close = difflib.get_close_matches(protoop, known_ops, n=1)
+        hint = f" (did you mean {close[0]!r}?)" if close else ""
+        diags.append(Diagnostic(
+            "PRE111", Severity.WARNING,
+            f"unknown protocol operation {protoop!r}{hint}"))
+
+    if anchor not in _KNOWN_ANCHORS:
+        close = difflib.get_close_matches(anchor, _KNOWN_ANCHORS, n=1)
+        hint = f" (did you mean {close[0]!r}?)" if close else ""
+        diags.append(Diagnostic(
+            "PRE112", Severity.ERROR, f"unknown anchor {anchor!r}{hint}"))
+
+    if known_helpers is not None:
+        for hid in report.helper_ids:
+            if hid >= 0 and hid not in known_helpers:
+                diags.append(Diagnostic(
+                    "PRE113", Severity.WARNING,
+                    f"helper id {hid} is not provided by the host"))
+    return diags

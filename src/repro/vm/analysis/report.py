@@ -1,0 +1,117 @@
+"""Structured results of the PRE static analyzer.
+
+An :class:`AnalysisReport` carries two kinds of information:
+
+* **diagnostics** — rule violations (:class:`Diagnostic`) with a stable
+  rule id, a severity and, where meaningful, the program counter of the
+  offending instruction;
+* **facts** — proofs about the whole program ("all memory accesses stay
+  in bounds", "loop-free", "worst-case fuel ≤ N") plus per-instruction
+  memory-region facts that let the JIT drop its inlined monitor
+  (:mod:`repro.vm.jit`).
+
+The report is pure data: producing it never raises, so callers decide
+their own policy (reject, warn, lint, specialize).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+class Severity(enum.Enum):
+    """How bad a diagnostic is.
+
+    ``ERROR`` means the program certainly misbehaves (or violates the
+    paper's §2.1 acceptance checks); ``WARNING`` flags suspect but not
+    certainly-wrong code; ``INFO`` is advisory.
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One rule violation found by the analyzer."""
+
+    rule: str  # stable rule id, e.g. "PRE104"
+    severity: Severity
+    message: str  # reason without location suffix
+    pc: Optional[int] = None  # offending instruction, if localizable
+    pluglet: str = ""  # filled in by plugin-level lint
+
+    def format(self) -> str:
+        where = f" at instruction {self.pc}" if self.pc is not None else ""
+        who = f"{self.pluglet}: " if self.pluglet else ""
+        return f"{who}{self.severity}[{self.rule}]: {self.message}{where}"
+
+    def __str__(self) -> str:
+        return self.format()
+
+
+#: Per-instruction memory proof: the access at this pc always lands in
+#: this region ("stack" or "heap"), so no runtime bounds check is needed.
+MemFacts = Dict[int, str]
+
+
+@dataclass
+class AnalysisReport:
+    """Everything the analyzer learned about one program."""
+
+    instruction_count: int = 0
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+    #: Heap size (bytes) the memory proofs were computed against; a proof
+    #: is valid for any plugin memory at least this large.
+    heap_size: int = 0
+    #: True when every reachable memory access is proven in-bounds.
+    memory_safe: bool = False
+    #: True when the CFG has no cycle among reachable blocks.
+    loop_free: bool = False
+    #: Worst-case instructions per invocation (loop-free programs only).
+    fuel_bound: Optional[int] = None
+    #: Worst-case helper calls per invocation (loop-free programs only).
+    helper_bound: Optional[int] = None
+    #: pc -> "stack" | "heap" for individually proven memory accesses.
+    mem_facts: MemFacts = field(default_factory=dict)
+    #: Helper ids the program may call.
+    helper_ids: Tuple[int, ...] = ()
+    #: pcs of reachable instructions (empty when the CFG was not built).
+    reachable: Tuple[int, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        """No error-severity diagnostics."""
+        return not any(d.severity is Severity.ERROR for d in self.diagnostics)
+
+    def errors(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.ERROR]
+
+    def warnings(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.WARNING]
+
+    def by_rule(self, rule: str) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.rule == rule]
+
+    def add(self, rule: str, severity: Severity, message: str,
+            pc: Optional[int] = None) -> None:
+        self.diagnostics.append(Diagnostic(rule, severity, message, pc))
+
+    def summary(self) -> Dict[str, object]:
+        """Compact dict for events / CLI output."""
+        return {
+            "instructions": self.instruction_count,
+            "errors": len(self.errors()),
+            "warnings": len(self.warnings()),
+            "memory_safe": self.memory_safe,
+            "loop_free": self.loop_free,
+            "fuel_bound": self.fuel_bound,
+            "helper_bound": self.helper_bound,
+            "proven_accesses": len(self.mem_facts),
+        }

@@ -24,7 +24,7 @@ Memory layout (virtual addresses):
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from .isa import (
     ALU_IMM_OPS,
@@ -106,9 +106,9 @@ class VirtualMachine:
 
     def __init__(
         self,
-        instructions: list,
+        instructions: List[Instruction],
         plugin_memory: PluginMemory,
-        helpers: Optional[dict] = None,
+        helpers: Optional[Dict[int, Callable]] = None,
         instruction_budget: int = DEFAULT_FUEL,
         helper_call_budget: int = DEFAULT_HELPER_BUDGET,
     ):
@@ -124,7 +124,7 @@ class VirtualMachine:
         #: resolve stack addresses a pluglet passes them.
         self.current_stack: Optional[bytearray] = None
 
-    def counters(self) -> dict:
+    def counters(self) -> Dict[str, object]:
         """Cumulative execution counters (profiling/monitoring hook).
 
         Profilers snapshot these around ``run`` and attribute the deltas;
@@ -140,7 +140,8 @@ class VirtualMachine:
 
     # --- memory monitor ----------------------------------------------------
 
-    def _region(self, address: int, size: int, stack: bytearray):
+    def _region(self, address: int, size: int,
+                stack: bytearray) -> Tuple[bytearray, int]:
         """The monitor: resolve an address or raise MemoryViolation."""
         if STACK_BASE <= address and address + size <= STACK_BASE + STACK_SIZE:
             return stack, address - STACK_BASE
@@ -201,7 +202,8 @@ class VirtualMachine:
             self.helper_calls_made += self._helper_calls
             self.current_stack = previous_stack
 
-    def _step(self, ins, op, regs, stack, pc) -> int:
+    def _step(self, ins: Instruction, op: Op, regs: List[int],
+              stack: bytearray, pc: int) -> int:
         if op in ALU_REG_OPS:
             regs[ins.dst] = self._alu(op, regs[ins.dst], regs[ins.src])
             return pc + 1

@@ -20,7 +20,7 @@ from __future__ import annotations
 import enum
 import struct
 from dataclasses import dataclass
-from typing import Iterable
+from typing import Iterable, List
 
 NUM_REGISTERS = 11
 FP_REGISTER = 10  # read-only frame pointer
@@ -156,7 +156,7 @@ def encode_program(instructions: Iterable[Instruction]) -> bytes:
     return b"".join(ins.encode() for ins in instructions)
 
 
-def decode_program(bytecode: bytes) -> list:
+def decode_program(bytecode: bytes) -> List[Instruction]:
     """Parse bytecode back to instructions; raises on malformed input."""
     if len(bytecode) % _STRUCT.size:
         raise ValueError("bytecode length not a multiple of instruction size")

@@ -34,6 +34,28 @@ Translation scheme
   VirtualMachine` (the differential suite in ``tests/test_vm_jit.py``
   enforces this).
 
+Proof-guided specialization
+===========================
+
+When the static analyzer (:mod:`repro.vm.analysis`) proves facts about a
+program, ``compile_jit`` accepts its report as ``proof`` and emits a
+*second*, leaner closure:
+
+* a memory access proven to always land in one region loses the inlined
+  two-region monitor and indexes the buffer directly;
+* a loop-free program with a worst-case ``fuel_bound`` keeps its exact
+  ``_fuel -= k`` accounting but drops every exhaustion *check*;
+* likewise the helper-call budget check when ``helper_bound`` is proven.
+
+Eliding a budget check is only equivalent when the budget cannot be hit,
+so :class:`JitVirtualMachine` gates the specialized closure at run time:
+it is used only when ``instruction_budget >= fuel_bound`` and
+``helper_call_budget >= helper_bound`` (and the actual plugin memory is
+at least the size the proofs assumed); otherwise every run goes through
+the fully-checked closure.  Both closures flush fuel at identical
+program points, so counters and fault behaviour stay bit-identical
+either way.
+
 The interpreter remains the reference semantics: anything ``compile_jit``
 does not cover raises :class:`JitError` and :class:`JitVirtualMachine`
 falls back to interpreting, so the JIT can never change behaviour — only
@@ -194,9 +216,10 @@ class _Emitter:
     """Collects generated lines for one basic block and tracks which
     runtime preamble facilities (heap view, helper table) are needed."""
 
-    def __init__(self, indent: str):
+    def __init__(self, indent: str, fuel_check: bool = True):
         self.lines: List[str] = []
         self.indent = indent
+        self.fuel_check = fuel_check
         self.uses_heap = False
         self.uses_call = False
         self.heap_sizes: set = set()
@@ -206,10 +229,15 @@ class _Emitter:
 
     def flush_fuel(self, count: int) -> None:
         """Charge `count` instructions; on exhaustion the partial batch is
-        zeroed so `executed == budget` exactly as the interpreter reports."""
+        zeroed so `executed == budget` exactly as the interpreter reports.
+        With a proven fuel bound the check is elided (the caller gates
+        the closure on `budget >= bound`) but the exact `_fuel -= k`
+        accounting — at the same program points — remains."""
         if count == 0:
             return
         self.emit(f"_fuel -= {count}")
+        if not self.fuel_check:
+            return
         self.emit("if _fuel < 0:")
         self.emit("    _fuel = 0")
         self.emit('    raise _FuelExhausted('
@@ -217,7 +245,8 @@ class _Emitter:
 
 
 def _emit_memory_op(em: _Emitter, op: Op, dst: int, src: int,
-                    offset: int, imm: int) -> None:
+                    offset: int, imm: int,
+                    region: Optional[str] = None) -> None:
     size = MEM_SIZES[op]
     is_load = op in LOAD_OPS
     base_reg = src if is_load else dst
@@ -260,13 +289,21 @@ def _emit_memory_op(em: _Emitter, op: Op, dst: int, src: int,
                     f'0x{addr:x} outside pluglet stack and plugin memory")')
         return
 
-    em.uses_heap = True
-    em.heap_sizes.add(size)
     base = _reg_expr(base_reg)
     if offset:
         em.emit(f"_a = ({base} + ({offset})) & {_M_LIT}")
     else:
         em.emit(f"_a = {base}")
+    if region == "stack":
+        # Proven: every execution lands in the pluglet stack.
+        em.emit(stack_access(f"_a - {STACK_BASE}"))
+        return
+    if region == "heap":
+        em.uses_heap = True
+        em.emit(heap_access(f"_a - {HEAP_BASE}"))
+        return
+    em.uses_heap = True
+    em.heap_sizes.add(size)
     em.emit(f"if {STACK_BASE} <= _a <= {STACK_BASE + STACK_SIZE - size}:")
     em.emit("    " + stack_access(f"_a - {STACK_BASE}"))
     em.emit(f"elif {HEAP_BASE} <= _a <= _he{size}:")
@@ -276,7 +313,7 @@ def _emit_memory_op(em: _Emitter, op: Op, dst: int, src: int,
             f'outside pluglet stack and plugin memory" % _a)')
 
 
-def compile_jit(instructions) -> Callable:
+def compile_jit(instructions, proof=None) -> Callable:
     """Translate a program into a Python function with inlined monitoring.
 
     The returned callable has signature ``fn(vm, stack, out, r1..r5)``;
@@ -284,7 +321,22 @@ def compile_jit(instructions) -> Callable:
     helper_calls]`` even when the function raises.  Raises :class:`JitError`
     when the program cannot be translated (caller falls back to the
     interpreter).
+
+    ``proof`` is an :class:`repro.vm.analysis.AnalysisReport` (or any
+    object with ``mem_facts`` / ``fuel_bound`` / ``helper_bound``): its
+    per-pc region facts drop the inlined memory monitor, and proven
+    fuel / helper bounds drop the budget checks.  The caller MUST gate
+    the resulting closure on ``instruction_budget >= fuel_bound``,
+    ``helper_call_budget >= helper_bound`` and an actual plugin memory
+    at least ``proof.heap_size`` bytes — :class:`JitVirtualMachine`
+    does — otherwise elided checks could change behaviour.
     """
+    mem_facts: dict = {}
+    fuel_check = helper_check = True
+    if proof is not None:
+        mem_facts = dict(getattr(proof, "mem_facts", {}) or {})
+        fuel_check = getattr(proof, "fuel_bound", None) is None
+        helper_check = getattr(proof, "helper_bound", None) is None
     n = len(instructions)
     if n == 0:
         raise JitError("empty program")
@@ -325,7 +377,7 @@ def compile_jit(instructions) -> Callable:
 
     for bi, start in enumerate(order):
         end = order[bi + 1] if bi + 1 < len(order) else n
-        em = _Emitter(body_indent)
+        em = _Emitter(body_indent, fuel_check=fuel_check)
         emitters.append(em)
         pending = 0
         terminated = False
@@ -366,7 +418,8 @@ def compile_jit(instructions) -> Callable:
             if op in LOAD_OPS or op in STORE_REG_OPS or op in STORE_IMM_OPS:
                 em.flush_fuel(pending + 1)
                 pending = 0
-                _emit_memory_op(em, op, ins.dst, ins.src, ins.offset, ins.imm)
+                _emit_memory_op(em, op, ins.dst, ins.src, ins.offset,
+                                ins.imm, region=mem_facts.get(pc))
                 continue
             if op is Op.CALL:
                 em.flush_fuel(pending + 1)
@@ -376,10 +429,11 @@ def compile_jit(instructions) -> Callable:
                 em.emit("if _h is None:")
                 em.emit(f'    raise _ExecutionError('
                         f'"unknown helper id {ins.imm}")')
-                em.emit("if _hcalls >= _hbudget:")
-                em.emit('    raise _FuelExhausted('
-                        '"helper-call budget exhausted (%d calls)" '
-                        '% _hbudget)')
+                if helper_check:
+                    em.emit("if _hcalls >= _hbudget:")
+                    em.emit('    raise _FuelExhausted('
+                            '"helper-call budget exhausted (%d calls)" '
+                            '% _hbudget)')
                 em.emit("_hcalls += 1")
                 em.emit("_r = _h(vm, r1, r2, r3, r4, r5)")
                 em.emit(f"r0 = (_r or 0) & {_M_LIT}")
@@ -501,6 +555,7 @@ class JitVirtualMachine(VirtualMachine):
         helpers: Optional[dict] = None,
         instruction_budget: int = DEFAULT_FUEL,
         helper_call_budget: int = DEFAULT_HELPER_BUDGET,
+        analysis: Optional[object] = None,
     ):
         super().__init__(instructions, plugin_memory, helpers,
                          instruction_budget, helper_call_budget)
@@ -508,10 +563,41 @@ class JitVirtualMachine(VirtualMachine):
             self.jit_function: Optional[Callable] = compile_jit(instructions)
         except JitError:
             self.jit_function = None
+        self._fast_function: Optional[Callable] = None
+        self._fuel_bound: Optional[int] = None
+        self._helper_bound: Optional[int] = None
+        if self.jit_function is not None and analysis is not None:
+            self._specialize(instructions, plugin_memory, analysis)
+
+    def _specialize(self, instructions: list,
+                    plugin_memory: PluginMemory, analysis: object) -> None:
+        """Compile the monitor-free variant when the proofs apply here."""
+        if not getattr(analysis, "ok", False):
+            return
+        if plugin_memory.size < getattr(analysis, "heap_size", 0):
+            # The heap in-bounds facts assumed a larger memory; dropping
+            # the monitor against this one would be unsound.
+            return
+        mem_facts = getattr(analysis, "mem_facts", None) or {}
+        fuel_bound = getattr(analysis, "fuel_bound", None)
+        helper_bound = getattr(analysis, "helper_bound", None)
+        if not mem_facts and fuel_bound is None and helper_bound is None:
+            return  # the proof elides nothing; one closure is enough
+        try:
+            self._fast_function = compile_jit(instructions, proof=analysis)
+        except JitError:  # pragma: no cover - checked variant compiled
+            return
+        self._fuel_bound = fuel_bound
+        self._helper_bound = helper_bound
 
     @property
     def jit_enabled(self) -> bool:
         return self.jit_function is not None
+
+    @property
+    def jit_specialized(self) -> bool:
+        """True when a proof-guided monitor-free closure was compiled."""
+        return self._fast_function is not None
 
     @property
     def execution_path(self) -> str:  # type: ignore[override]
@@ -521,6 +607,13 @@ class JitVirtualMachine(VirtualMachine):
 
     def run(self, *args: int) -> int:
         fn = self.jit_function
+        fast = self._fast_function
+        if fast is not None \
+                and (self._fuel_bound is None
+                     or self.instruction_budget >= self._fuel_bound) \
+                and (self._helper_bound is None
+                     or self.helper_call_budget >= self._helper_bound):
+            fn = fast
         if fn is None:
             return super().run(*args)
         if len(args) > 5:
@@ -549,14 +642,23 @@ def create_vm(
     helpers: Optional[dict] = None,
     instruction_budget: int = DEFAULT_FUEL,
     helper_call_budget: int = DEFAULT_HELPER_BUDGET,
+    analysis: Optional[object] = None,
 ) -> VirtualMachine:
     """Build the fastest available VM for a pluglet.
 
     Returns a :class:`JitVirtualMachine` unless the ``REPRO_JIT=0``
-    environment switch forces the reference interpreter.
+    environment switch forces the reference interpreter.  ``analysis``
+    is an :class:`~repro.vm.analysis.AnalysisReport` whose proofs enable
+    the monitor-free closure; it is ignored when ``REPRO_ANALYSIS=0``.
     """
     if not jit_enabled_by_env():
         return VirtualMachine(instructions, plugin_memory, helpers,
                               instruction_budget, helper_call_budget)
+    if analysis is not None:
+        from .analysis import analysis_enabled_by_env
+
+        if not analysis_enabled_by_env():
+            analysis = None
     return JitVirtualMachine(instructions, plugin_memory, helpers,
-                             instruction_budget, helper_call_budget)
+                             instruction_budget, helper_call_budget,
+                             analysis=analysis)

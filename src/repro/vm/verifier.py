@@ -1,4 +1,4 @@
-"""Static bytecode verification (§2.1).
+"""Static bytecode verification (§2.1) — compatibility wrapper.
 
 Before a pluglet is accepted, the PRE "checks simple properties of the
 bytecode to ensure its (apparent) validity":
@@ -10,35 +10,26 @@ bytecode to ensure its (apparent) validity":
 (v)   the bytecode never writes to read-only registers;
 plus static validation of stack accesses.
 
-"A plugin is rejected if any of the above checks fails for one of its
-pluglets."  This verifier is deliberately *relaxed* compared to the kernel
-eBPF verifier (no complexity bound, loops allowed) — the runtime monitor
-(:mod:`repro.vm.interpreter`) covers the rest.
+These checks now live in the rule catalog of the full static analyzer
+(:mod:`repro.vm.analysis`, rules ``PRE001``–``PRE012``); ``verify()``
+remains the §2.1 acceptance gate and raises on the first legacy-rule
+violation exactly as the old single-pass verifier did, so
+``plugin.verify_all()`` call sites are unchanged.  It runs the analyzer
+in its shallow mode: the deeper rules (reachability, abstract
+interpretation) stay deliberately *relaxed* here — loops are allowed,
+unproven memory accesses are deferred to the runtime monitor — matching
+the paper's acceptance policy.  Oversized programs are rejected without
+materializing the whole input (the old verifier listed the entire
+iterable before its size check).
 """
 
 from __future__ import annotations
 
 import struct
-from typing import Iterable, Optional
+from typing import Iterable, List, Optional
 
-from .isa import (
-    ALU_IMM_OPS,
-    ALU_REG_OPS,
-    DST_WRITE_OPS,
-    FP_REGISTER,
-    JMP_IMM_OPS,
-    JMP_REG_OPS,
-    JUMP_OPS,
-    LOAD_OPS,
-    MEM_OPS,
-    MEM_SIZES,
-    NUM_REGISTERS,
-    STACK_SIZE,
-    STORE_IMM_OPS,
-    STORE_REG_OPS,
-    Instruction,
-    Op,
-)
+from .analysis.rules import DEFAULT_MAX_INSTRUCTIONS, LEGACY_RULES, analyze
+from .isa import Instruction
 
 
 class VerificationError(Exception):
@@ -51,79 +42,17 @@ class VerificationError(Exception):
         self.pc = pc
 
 
-def verify(program: Iterable[Instruction], max_instructions: int = 65_536) -> None:
-    """Run all static checks; raises :class:`VerificationError` on failure."""
-    instructions = list(program)
-    if not instructions:
-        raise VerificationError("empty program")
-    if len(instructions) > max_instructions:
-        raise VerificationError(
-            f"program too large ({len(instructions)} > {max_instructions})"
-        )
-
-    # (i) an exit instruction must be present.
-    if not any(ins.opcode is Op.EXIT for ins in instructions):
-        raise VerificationError("program has no exit instruction")
-
-    n = len(instructions)
-    for pc, ins in enumerate(instructions):
-        _check_instruction(ins, pc, n)
-
-    _check_stack_accesses(instructions)
+def verify(program: Iterable[Instruction],
+           max_instructions: int = DEFAULT_MAX_INSTRUCTIONS) -> None:
+    """Run the §2.1 static checks; raises :class:`VerificationError` on
+    the first failure."""
+    report = analyze(program, max_instructions=max_instructions, deep=False)
+    for diag in report.diagnostics:
+        if diag.rule in LEGACY_RULES:
+            raise VerificationError(diag.message, diag.pc)
 
 
-def _check_instruction(ins: Instruction, pc: int, n: int) -> None:
-    # (ii) valid opcode and register numbers.
-    if not isinstance(ins.opcode, Op):
-        try:
-            Op(ins.opcode)
-        except ValueError:
-            raise VerificationError(f"unknown opcode {ins.opcode!r}", pc)
-    if not 0 <= ins.dst < NUM_REGISTERS:
-        raise VerificationError(f"invalid dst register r{ins.dst}", pc)
-    if not 0 <= ins.src < NUM_REGISTERS:
-        raise VerificationError(f"invalid src register r{ins.src}", pc)
-
-    op = ins.opcode
-    # (iii) trivially wrong operations.
-    if op in (Op.DIV_IMM, Op.MOD_IMM) and ins.imm == 0:
-        raise VerificationError("division by zero immediate", pc)
-    if op in (Op.LSH_IMM, Op.RSH_IMM, Op.ARSH_IMM) and not 0 <= ins.imm < 64:
-        raise VerificationError(f"shift amount {ins.imm} out of range", pc)
-
-    # (iv) all jumps land inside the program.
-    if op in JUMP_OPS:
-        target = pc + 1 + ins.offset
-        if not 0 <= target < n:
-            raise VerificationError(f"jump target {target} out of range", pc)
-
-    # (v) never write to read-only registers.
-    if op in DST_WRITE_OPS and ins.dst == FP_REGISTER:
-        raise VerificationError("write to read-only register r10", pc)
-    if op is Op.CALL and ins.imm < 0:
-        raise VerificationError(f"invalid helper id {ins.imm}", pc)
-
-
-def _check_stack_accesses(instructions: list) -> None:
-    """Static stack-bounds validation (§2.1): every memory access whose
-    base register is provably the frame pointer must stay within the
-    pluglet's 512-byte stack."""
-    for pc, ins in enumerate(instructions):
-        if ins.opcode not in MEM_OPS:
-            continue
-        size = MEM_SIZES[ins.opcode]
-        base = ins.src if ins.opcode in LOAD_OPS else ins.dst
-        if base != FP_REGISTER:
-            continue  # dynamically monitored instead
-        low = ins.offset
-        high = ins.offset + size
-        if not (-STACK_SIZE <= low and high <= 0):
-            raise VerificationError(
-                f"stack access [{low}, {high}) outside [-{STACK_SIZE}, 0)", pc
-            )
-
-
-def verify_bytecode(bytecode: bytes) -> list:
+def verify_bytecode(bytecode: bytes) -> List[Instruction]:
     """Decode then verify; returns the instruction list."""
     from .isa import decode_program
 

@@ -1,0 +1,6 @@
+; expect: PRE108
+; The divisor register is provably always zero at the division.
+mov r6, 0
+mov r0, 10
+div r0, r6
+exit

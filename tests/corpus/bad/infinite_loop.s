@@ -1,0 +1,6 @@
+; expect: PRE103
+; The self-loop can never reach a terminator: every execution that
+; enters it runs until the fuel budget faults.
+loop:
+ja loop
+exit

@@ -1,0 +1,10 @@
+; expect: PRE104
+; Computed stack address above the frame pointer: r10 + 16 is past the
+; top of the 512-byte pluglet stack and below the heap base.  The
+; legacy verifier only checks direct [r10+off] operands; catching this
+; needs the abstract interpretation.
+mov r6, r10
+add r6, 16
+stdw [r6+0], 7
+mov r0, 0
+exit

@@ -1,0 +1,8 @@
+; expect: PRE104
+; Store of 4 bytes exactly at the end of the default 16 KiB plugin
+; memory: the interval analysis proves the address can never fall in
+; the stack or heap windows.
+lddw r6, 0x20004000
+stw [r6+0], 1
+mov r0, 0
+exit

@@ -1,0 +1,5 @@
+; expect: PRE010
+; The frame pointer r10 is read-only (legacy rule, kept exact).
+mov r10, 5
+mov r0, 0
+exit

@@ -1,0 +1,6 @@
+; expect: PRE012
+; Direct frame-pointer operand outside [-512, 0): the legacy static
+; stack check (§2.1) rejects it without any dataflow.
+stdw [r10+8], 1
+mov r0, 0
+exit

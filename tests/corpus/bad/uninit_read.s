@@ -1,0 +1,4 @@
+; expect: PRE106
+; r6 is a scratch register never written before this read.
+mov r0, r6
+exit

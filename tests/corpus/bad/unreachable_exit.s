@@ -1,0 +1,8 @@
+; expect: PRE102
+; An exit instruction exists, but the entry jumps over it and execution
+; falls off the end of the program.
+mov r0, 0
+ja skip
+exit
+skip:
+mov r6, 1

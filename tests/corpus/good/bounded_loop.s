@@ -1,0 +1,11 @@
+; expect: ok
+; A counted loop: not loop-free (no fuel bound), but terminating and
+; error-free — the analyzer must accept it, only the proofs weaken.
+mov r6, 0
+mov r7, 0
+loop:
+add r7, r6
+add r6, 1
+jlt r6, 10, loop
+mov r0, r7
+exit

@@ -1,0 +1,12 @@
+; expect: ok
+; Diamond control flow with a helper call on one arm; both arms write
+; r6 before the join reads it.
+jeq r1, 0, zero
+mov r6, 1
+call 1
+ja join
+zero:
+mov r6, 2
+join:
+mov r0, r6
+exit

@@ -1,0 +1,9 @@
+; expect: ok
+; Spill/reload through the pluglet stack plus a proven heap round-trip:
+; every access gets a region fact, so the report is memory_safe.
+lddw r6, 0x20000000
+stw [r6+0], 42
+ldxw r7, [r6+0]
+stxdw [r10-8], r7
+ldxdw r0, [r10-8]
+exit

@@ -1,0 +1,7 @@
+; expect: ok
+; Straight-line arithmetic over the argument registers: loop-free, no
+; memory, fully provable.
+mov r0, r1
+add r0, r2
+mul r0, 3
+exit

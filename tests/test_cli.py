@@ -101,3 +101,37 @@ def test_unknown_plugin_rejected():
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["frobnicate"])
+
+
+def test_lint_builtin_plugins_pass(capsys):
+    code, out = run_cli(capsys, "lint")
+    assert code == 0
+    assert "0 error(s)" in out
+
+
+def test_lint_single_plugin_quiet(capsys):
+    code, out = run_cli(capsys, "lint", "--quiet", "monitoring")
+    assert code == 0
+    assert "1 target(s)" in out
+
+
+def test_lint_bad_corpus_fails(capsys):
+    from pathlib import Path
+
+    bad = Path(__file__).parent / "corpus" / "bad"
+    code, out = run_cli(capsys, "lint", str(bad))
+    assert code == 1
+    assert "error[PRE" in out
+
+
+def test_lint_good_corpus_passes(capsys):
+    from pathlib import Path
+
+    good = Path(__file__).parent / "corpus" / "good"
+    code, out = run_cli(capsys, "lint", str(good))
+    assert code == 0
+
+
+def test_lint_unknown_target_is_usage_error(capsys):
+    code, _out = run_cli(capsys, "lint", "no-such-plugin")
+    assert code == 2

@@ -10,11 +10,19 @@ state is compared bit-for-bit.
 """
 
 import random
+from pathlib import Path
 
 import pytest
 
 from repro.vm import VirtualMachine, assemble, verify
-from repro.vm.interpreter import HEAP_BASE, STACK_BASE, PluginMemory, VmError
+from repro.vm.analysis import analyze
+from repro.vm.interpreter import (
+    HEAP_BASE,
+    STACK_BASE,
+    FuelExhausted,
+    PluginMemory,
+    VmError,
+)
 from repro.vm.isa import (
     LOAD_OPS,
     MEM_SIZES,
@@ -148,12 +156,13 @@ def _make_helpers(log):
     return {1: h_sum, 7: h_void}
 
 
-def _observe(vm_cls, program, budget, runs):
+def _observe(vm_cls, program, budget, runs, analysis=None):
     """Run ``program`` and capture everything observable from outside."""
     mem = PluginMemory(size=HEAP_SIZE)
     log = []
+    kwargs = {"analysis": analysis} if analysis is not None else {}
     vm = vm_cls(program, mem, helpers=_make_helpers(log),
-                instruction_budget=budget, helper_call_budget=8)
+                instruction_budget=budget, helper_call_budget=8, **kwargs)
     if vm_cls is JitVirtualMachine:
         assert vm.jit_enabled, "generated program unexpectedly fell back"
     trace = []
@@ -338,3 +347,127 @@ class TestJitMachinery:
     def test_generated_source_attached(self):
         fn = compile_jit(assemble("mov r0, 1\nexit"))
         assert "def _pluglet" in fn.source
+
+
+# --- proof-guided specialization ---------------------------------------------
+
+CORPUS_GOOD = Path(__file__).parent / "corpus" / "good"
+
+
+def assert_proof_equivalent(program, budgets=(5, 17, 64, 300),
+                            runs=((), (3, (1 << 63) + 5, 7))):
+    """Like :func:`assert_equivalent`, but the JIT VM additionally gets
+    the analyzer's report: the monitor-free specialized closure must be
+    indistinguishable from the interpreter — proofs change speed, never
+    behavior."""
+    verify(program)
+    report = analyze(program, heap_size=HEAP_SIZE)
+    for budget in budgets:
+        ref = _observe(VirtualMachine, program, budget, runs)
+        jit = _observe(JitVirtualMachine, program, budget, runs,
+                       analysis=report)
+        assert jit == ref, (
+            f"proof-guided divergence at budget={budget}:\n ref={ref}\n"
+            f" jit={jit}\n report={report.summary()}\n program={program}"
+        )
+
+
+class TestProofGuided:
+    @pytest.mark.parametrize(
+        "name", sorted(p.stem for p in CORPUS_GOOD.glob("*.s")))
+    def test_good_corpus_identical(self, name):
+        program = assemble((CORPUS_GOOD / f"{name}.s").read_text())
+        assert_proof_equivalent(program, runs=((), (3, 9), (250, 1)))
+
+    @pytest.mark.parametrize("seed", range(25))
+    def test_seeded_random_programs_with_proofs(self, seed):
+        rng = random.Random(0xA11A ^ seed)
+        for _ in range(3):
+            assert_proof_equivalent(random_program(rng))
+
+    def test_unproven_addresses_keep_the_monitor(self):
+        # r1 is unknown to the analyzer, so no region fact exists; the
+        # specialized closure must still catch the violation.
+        program = assemble("ldxdw r0, [r1+0]\nexit")
+        assert_proof_equivalent(
+            program,
+            runs=((STACK_BASE,), (HEAP_BASE,), (0,),
+                  (HEAP_BASE + HEAP_SIZE - 4,)))
+
+    def test_helper_budget_exhaustion_identical(self):
+        program = assemble("\n".join(["call 1"] * 12) + "\nexit")
+        assert_proof_equivalent(program)
+
+    def test_specializes_on_proofs(self):
+        program = assemble(
+            f"lddw r6, {HEAP_BASE}\nstdw [r6+0], 7\nldxdw r0, [r6+0]\nexit")
+        report = analyze(program, heap_size=HEAP_SIZE)
+        assert report.memory_safe and report.fuel_bound == 4
+        vm = JitVirtualMachine(program, PluginMemory(size=HEAP_SIZE),
+                               analysis=report)
+        assert vm.jit_specialized
+        assert vm.run() == 7
+        assert vm.instructions_executed == 4
+
+    def test_specialized_source_is_monitor_free(self):
+        program = assemble(
+            f"lddw r6, {HEAP_BASE}\nstdw [r6+0], 7\nldxdw r0, [r6+0]\nexit")
+        report = analyze(program, heap_size=HEAP_SIZE)
+        vm = JitVirtualMachine(program, PluginMemory(size=HEAP_SIZE),
+                               analysis=report)
+        fast = vm._fast_function.source
+        checked = vm.jit_function.source
+        assert "raise _FuelExhausted" in checked
+        assert "raise _FuelExhausted" not in fast
+        assert "_MemoryViolation" in checked
+        assert "_MemoryViolation" not in fast  # both accesses proven
+        assert "_fuel -=" in fast  # accounting stays exact
+
+    def test_budget_below_bound_takes_checked_path(self):
+        program = assemble("mov r0, 1\nadd r0, 2\nexit")
+        report = analyze(program, heap_size=HEAP_SIZE)
+        assert report.fuel_bound == 3
+        vm = JitVirtualMachine(program, PluginMemory(size=HEAP_SIZE),
+                               instruction_budget=2, analysis=report)
+        assert vm.jit_specialized  # compiled, but gated per run
+        with pytest.raises(FuelExhausted, match="2 instructions"):
+            vm.run()
+        assert vm.instructions_executed == 2  # same charge as interpreter
+
+    def test_rejected_program_is_not_specialized(self):
+        # Definite division by zero: the report carries an error, so the
+        # proofs must not be used; behavior is the plain checked JIT's.
+        program = assemble("mov r6, 0\nmov r0, 10\ndiv r0, r6\nexit")
+        report = analyze(program, heap_size=HEAP_SIZE)
+        assert not report.ok
+        vm = JitVirtualMachine(program, PluginMemory(size=HEAP_SIZE),
+                               analysis=report)
+        assert not vm.jit_specialized
+        assert_proof_equivalent(program)
+
+    def test_heap_smaller_than_proof_disables_specialization(self):
+        program = assemble(f"lddw r6, {HEAP_BASE}\nstdw [r6+0], 7\nexit")
+        report = analyze(program, heap_size=HEAP_SIZE)
+        assert report.memory_safe
+        vm = JitVirtualMachine(program, PluginMemory(size=64),
+                               analysis=report)
+        assert not vm.jit_specialized  # proof assumed a bigger heap
+        vm.run()  # checked path still executes correctly
+
+    def test_create_vm_analysis_env_gate(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JIT", raising=False)
+        program = assemble("mov r0, 42\nexit")
+        report = analyze(program, heap_size=HEAP_SIZE)
+
+        monkeypatch.setenv("REPRO_ANALYSIS", "0")
+        vm = create_vm(program, PluginMemory(size=HEAP_SIZE),
+                       analysis=report)
+        assert isinstance(vm, JitVirtualMachine)
+        assert not vm.jit_specialized
+        assert vm.run() == 42
+
+        monkeypatch.delenv("REPRO_ANALYSIS")
+        vm = create_vm(program, PluginMemory(size=HEAP_SIZE),
+                       analysis=report)
+        assert vm.jit_specialized
+        assert vm.run() == 42

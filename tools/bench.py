@@ -2,12 +2,12 @@
 """Fast-path benchmark harness and regression gate.
 
 Runs the Table-3 / §4.6-style workloads across every layer the fast-path
-engine touches and writes ``BENCH_pr2.json`` at the repository root — the
+engine touches and writes ``BENCH_pr4.json`` at the repository root — the
 trajectory file that future PRs compare themselves against.
 
 Usage (from the repository root)::
 
-    python tools/bench.py            # full run, writes BENCH_pr2.json
+    python tools/bench.py            # full run, writes BENCH_pr4.json
     python tools/bench.py --quick    # smaller iteration counts (CI smoke)
     python tools/bench.py --quick --check
                                      # additionally fail on >2x regression
@@ -46,6 +46,10 @@ def kernel(n):
 
 REGRESSION_FACTOR = 2.0  # --check fails when a metric drops below 1/2x
 MIN_JIT_SPEEDUP = 3.0    # acceptance floor for the JIT on the kernel
+#: The proof-specialized (monitor-free) closure strictly removes work
+#: from the monitored one, so it must never be slower.  Measured as an
+#: interleaved best-of-N in one process, so machine drift cancels.
+MIN_MONITOR_FREE_SPEEDUP = 1.0
 #: Observability must be zero-cost when disabled: a connection that had
 #: tracing/metrics/profiling enabled and then disabled may dispatch at
 #: most this much slower than one that never enabled them (the latter is
@@ -81,6 +85,65 @@ def bench_pre_kernel(quick: bool) -> dict:
         "pre_kernel_jit_ops_per_sec": (n / jit_t, "kernel-iters/s"),
         "pre_kernel_jit_speedup": (interp_t / jit_t, "x"),
         "pre_interp_instructions_per_sec": (ips_interp, "instr/s"),
+    }
+
+
+def _analysis_kernel(n_pairs: int = 120) -> list:
+    """Loop-free, memory-heavy bytecode where every access is provable:
+    the workload the analyzer's proofs specialize best (fuel checks and
+    the two-region monitor both elide)."""
+    from repro.vm.interpreter import HEAP_BASE
+
+    lines = [f"lddw r6, {HEAP_BASE}", "mov r0, 0"]
+    for i in range(n_pairs):
+        off = (i * 8) % 1024
+        lines.append(f"stdw [r6+{off}], {i + 1}")
+        lines.append(f"ldxdw r1, [r6+{off}]")
+        lines.append("add r0, r1")
+    lines.append("exit")
+    return assemble("\n".join(lines))
+
+
+def bench_analysis(quick: bool) -> dict:
+    """Static-analyzer throughput plus the payoff of its proofs: the
+    same JIT-compiled kernel with and without the inlined runtime
+    monitor (``--check`` gates monitor-free >= monitored)."""
+    from repro.vm.analysis import analyze
+
+    program = _analysis_kernel()
+    rounds = 20 if quick else 100
+    t, report = _time(lambda: [analyze(program)
+                               for _ in range(rounds)][-1])
+    assert report.ok and report.memory_safe
+    assert report.fuel_bound == len(program)
+
+    monitored = JitVirtualMachine(program, PluginMemory(),
+                                  instruction_budget=10_000_000)
+    free = JitVirtualMachine(program, PluginMemory(),
+                             instruction_budget=10_000_000, analysis=report)
+    assert monitored.jit_enabled and free.jit_specialized
+    assert monitored.run() == free.run()  # equivalence while warming up
+
+    runs = 300 if quick else 2_000
+
+    def spin(vm):
+        for _ in range(runs):
+            vm.run()
+
+    best = {"monitored": float("inf"), "free": float("inf")}
+    for _ in range(5):  # interleaved best-of-N
+        for name, vm in (("monitored", monitored), ("free", free)):
+            dt, _ = _time(spin, vm)
+            best[name] = min(best[name], dt)
+    return {
+        "analysis_instrs_per_sec":
+            (len(program) * rounds / t, "instr/s"),
+        "jit_monitored_kernel_ops_per_sec":
+            (runs / best["monitored"], "ops/s"),
+        "jit_monitor_free_kernel_ops_per_sec":
+            (runs / best["free"], "ops/s"),
+        "jit_monitor_free_speedup":
+            (best["monitored"] / best["free"], "x"),
     }
 
 
@@ -297,6 +360,7 @@ def bench_transfer(quick: bool) -> dict:
 
 WORKLOADS = [
     ("pre-kernel", bench_pre_kernel),
+    ("analysis", bench_analysis),
     ("pluglet-invocation", bench_pluglet_invocation),
     ("protoop-dispatch", bench_protoop_dispatch),
     ("trace-overhead", bench_trace_overhead),
@@ -351,9 +415,9 @@ def main(argv=None) -> int:
     parser.add_argument("--check", action="store_true",
                         help="fail on >2x regression vs the baseline")
     parser.add_argument("--output", type=pathlib.Path,
-                        default=ROOT / "BENCH_pr2.json")
+                        default=ROOT / "BENCH_pr4.json")
     parser.add_argument("--baseline", type=pathlib.Path,
-                        default=ROOT / "BENCH_pr2.json",
+                        default=ROOT / "BENCH_pr4.json",
                         help="baseline file compared by --check")
     args = parser.parse_args(argv)
 
@@ -364,6 +428,16 @@ def main(argv=None) -> int:
     if speedup < MIN_JIT_SPEEDUP:
         msg = (f"pre_kernel_jit_speedup {speedup:.2f}x below the "
                f"{MIN_JIT_SPEEDUP}x acceptance floor")
+        if args.check:
+            failures.append(msg)
+        else:
+            print(f"[bench] WARNING: {msg}")
+
+    mf_speedup = metrics["jit_monitor_free_speedup"]["value"]
+    if mf_speedup < MIN_MONITOR_FREE_SPEEDUP:
+        msg = (f"jit_monitor_free_speedup {mf_speedup:.3f}x: the "
+               f"proof-specialized closure must not be slower than the "
+               f"monitored one ({MIN_MONITOR_FREE_SPEEDUP}x floor)")
         if args.check:
             failures.append(msg)
         else:
@@ -388,7 +462,7 @@ def main(argv=None) -> int:
 
     report = {
         "schema": "pquic-bench-v1",
-        "pr": "pr2",
+        "pr": "pr4",
         "quick": args.quick,
         "python": sys.version.split()[0],
         "metrics": metrics,

@@ -1,0 +1,110 @@
+#!/usr/bin/env python
+"""Plugin lint gate for CI.
+
+Runs the PRE static analyzer plus the manifest linter
+(:mod:`repro.vm.analysis`) over every bundled plugin and over the
+bytecode corpus under ``tests/corpus/``:
+
+* every bundled plugin must produce **zero error-severity diagnostics**
+  (warnings are reported but allowed — e.g. compiler dead code);
+* every program in ``tests/corpus/bad/`` must be rejected with exactly
+  the rule id named in its ``; expect: PRExxx`` header;
+* every program in ``tests/corpus/good/`` must be accepted.
+
+Exits non-zero on the first violated expectation, so CI can run it as a
+blocking job::
+
+    PYTHONPATH=src python tools/lint_plugins.py
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+if str(ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(ROOT / "src"))
+
+from repro.cli import BUILTIN_PLUGINS  # noqa: E402
+from repro.core.api import PluginApi  # noqa: E402
+from repro.core.plugin import PluginRuntime  # noqa: E402
+from repro.quic import QuicConfiguration  # noqa: E402
+from repro.quic.connection import QuicConnection  # noqa: E402
+from repro.vm.analysis import Severity, analyze, lint_plugin  # noqa: E402
+from repro.vm.asm import assemble  # noqa: E402
+
+_EXPECT = re.compile(r";\s*expect:\s*(\S+)")
+
+
+def lint_bundled() -> int:
+    """All bundled plugins must lint error-free. Returns failures."""
+    conn = QuicConnection(QuicConfiguration(is_client=True))
+    protoop_names = set(conn.protoops.names)
+    failures = 0
+    for name in sorted(BUILTIN_PLUGINS):
+        plugin = BUILTIN_PLUGINS[name]()
+        runtime = PluginRuntime(plugin, conn)
+        helper_ids = set(PluginApi(runtime).helper_table())
+        helper_ids.update(runtime.extra_helpers)
+        diags = lint_plugin(plugin, protoop_names, helper_ids)
+        errors = [d for d in diags if d.severity is Severity.ERROR]
+        warnings = [d for d in diags if d.severity is Severity.WARNING]
+        status = "FAIL" if errors else "ok"
+        print(f"[{status}] {name}: {len(plugin.pluglets)} pluglets, "
+              f"{len(errors)} error(s), {len(warnings)} warning(s)")
+        for d in errors:
+            print(f"       {name}: {d.format()}")
+        if errors:
+            failures += 1
+    return failures
+
+
+def check_corpus() -> int:
+    """Bad corpus must fail with its expected rule; good must pass."""
+    failures = 0
+    for path in sorted((ROOT / "tests" / "corpus" / "bad").glob("*.s")):
+        text = path.read_text()
+        match = _EXPECT.search(text)
+        if match is None:
+            print(f"[FAIL] {path.name}: missing '; expect:' header")
+            failures += 1
+            continue
+        expected = match.group(1)
+        report = analyze(assemble(text))
+        hit = [d for d in report.errors() if d.rule == expected]
+        if not hit:
+            got = sorted({d.rule for d in report.errors()}) or ["none"]
+            print(f"[FAIL] bad/{path.name}: expected error {expected}, "
+                  f"got {', '.join(got)}")
+            failures += 1
+        else:
+            d = hit[0]
+            print(f"[ok]   bad/{path.name}: rejected by "
+                  f"{d.rule} at pc {d.pc}")
+    for path in sorted((ROOT / "tests" / "corpus" / "good").glob("*.s")):
+        report = analyze(assemble(path.read_text()))
+        if report.errors():
+            print(f"[FAIL] good/{path.name}: unexpected error(s): "
+                  + "; ".join(d.format() for d in report.errors()))
+            failures += 1
+        else:
+            print(f"[ok]   good/{path.name}: accepted "
+                  f"(memory_safe={report.memory_safe}, "
+                  f"loop_free={report.loop_free})")
+    return failures
+
+
+def main() -> int:
+    failures = lint_bundled()
+    failures += check_corpus()
+    if failures:
+        print(f"\n{failures} lint expectation(s) violated")
+        return 1
+    print("\nall plugins and corpus expectations hold")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
