@@ -72,6 +72,26 @@ HANDSHAKE_CH = 1
 HANDSHAKE_SH = 2
 
 
+class ConnectionState:
+    """Connection lifecycle states (RFC 9000 §10).
+
+    ``ACTIVE`` covers handshake and established operation.  ``close()``
+    moves to ``CLOSING`` (we sent CONNECTION_CLOSE and retransmit it,
+    rate-limited, while peer packets keep arriving); receiving the
+    peer's CONNECTION_CLOSE moves to ``DRAINING`` (send nothing).  Both
+    hold connection IDs for a drain period of 3×PTO so late packets
+    still match a known connection instead of spawning a new one, then
+    the drain timer retires the CIDs, releases per-connection buffers
+    and lands in ``CLOSED``.  An idle timeout closes silently: straight
+    to ``CLOSED``, nothing sent, no drain.
+    """
+
+    ACTIVE = "active"
+    CLOSING = "closing"
+    DRAINING = "draining"
+    CLOSED = "closed"
+
+
 @dataclass
 class QuicConfiguration:
     """Per-endpoint configuration."""
@@ -183,14 +203,27 @@ class QuicConnection:
         #: connection.  Plain callables — not protoops — to keep the
         #: paper's 72-operation census intact.
         self.wakeup_hints: list[Callable[[], Optional[float]]] = []
-        self.closed = False
+        self.state = ConnectionState.ACTIVE
         self.close_error: Optional[tuple[int, str]] = None
         self._close_frame_pending: Optional[F.ConnectionCloseFrame] = None
+        #: Absolute deadline of the drain period (3×PTO) while CLOSING or
+        #: DRAINING; None otherwise.
+        self.drain_deadline: Optional[float] = None
+        #: CIDs this connection retired on termination; endpoints unbind
+        #: them from their demux tables.
+        self.retired_cids: list[bytes] = []
+        # CONNECTION_CLOSE retransmit rate limit (RFC 9000 §10.2.1): one
+        # close packet per 2^k packets received while closing.
+        self._close_rexmit_threshold = 1
+        self._close_packets_seen = 0
 
         # Application callbacks.
         self.on_stream_data: Optional[Callable[[int, bytes, bool], None]] = None
         self.on_established: Optional[Callable[[], None]] = None
         self.on_close: Optional[Callable[[int, str], None]] = None
+        #: Fires once at *termination* (CLOSED), after the drain period —
+        #: unlike ``on_close``, which fires when closing begins.
+        self.on_closed: Optional[Callable[["QuicConnection"], None]] = None
         self.on_plugin_message: Optional[Callable[[str, bytes], None]] = None
 
         # Plugin machinery attachment points (populated by repro.core).
@@ -370,6 +403,8 @@ class QuicConnection:
         params = TransportParameters.parse(buf.pull_varint_prefixed_bytes())
         self.peer_transport_parameters = params
         self.max_data_remote = params.initial_max_data
+        for path in self.paths:
+            path.rtt.max_ack_delay = params.max_ack_delay
         if msg_type == HANDSHAKE_CH and not self.is_client:
             self.protoops.run(self, "derive_one_rtt_keys", None, peer_share)
             self._queue_handshake_message(HANDSHAKE_SH)
@@ -408,8 +443,13 @@ class QuicConnection:
         if fin:
             stream.finish()
 
+    @property
+    def closed(self) -> bool:
+        """True once closing has begun (any state past ACTIVE)."""
+        return self.state is not ConnectionState.ACTIVE
+
     def close(self, error_code: int = 0, reason: str = "") -> None:
-        if self.closed:
+        if self.state is not ConnectionState.ACTIVE:
             return
         self.protoops.run(self, "connection_closing", None, error_code, reason)
         self._close_frame_pending = F.ConnectionCloseFrame(
@@ -417,16 +457,67 @@ class QuicConnection:
         )
         self._finish_close(error_code, reason)
 
-    def _finish_close(self, error_code: int, reason: str) -> None:
-        self.closed = True
+    def _finish_close(
+        self, error_code: int, reason: str,
+        next_state: str = ConnectionState.CLOSING,
+    ) -> None:
+        """Leave ACTIVE: record the error, notify, enter ``next_state``.
+
+        ``CLOSING``/``DRAINING`` arm the drain timer; ``CLOSED`` (silent
+        close, e.g. idle timeout) terminates immediately.
+        """
         self.close_error = (error_code, reason)
         self.protoops.run(self, "connection_closed", None)
         if self.on_close is not None:
             self.on_close(error_code, reason)
+        if next_state is ConnectionState.CLOSED:
+            self._set_state(next_state)
+            self._terminate()
+        else:
+            self._set_state(next_state)
+            self.drain_deadline = self.now + 3 * self.paths[0].rtt.pto()
+
+    def _set_state(self, state: str) -> None:
+        if state == self.state:
+            return
+        self.state = state
+        # Declared on first emission, like the containment/exchange
+        # events: a lifecycle extension, not part of the paper's
+        # 72-protoop census.
+        if not self.protoops.exists("connection_state_changed"):
+            self.protoops.declare("connection_state_changed")
+        self.protoops.run(self, "connection_state_changed", None, state)
+
+    def _terminate(self) -> None:
+        """End of the drain period: retire CIDs, release per-connection
+        state and fire ``on_closed``.  Idempotent."""
+        if self.retired_cids:
+            return
+        self._set_state(ConnectionState.CLOSED)
+        self.drain_deadline = None
+        self._close_frame_pending = None
+        self._release_state()
+        if self.on_closed is not None:
+            self.on_closed(self)
+
+    def _release_state(self) -> None:
+        """Retire connection IDs and drop the bulky per-connection
+        buffers (streams, sent-packet maps, received ranges) so a server
+        holding many terminated connections does not accrete memory."""
+        self.retired_cids = [
+            cid for cid in (self.local_cid, self._original_dcid) if cid
+        ]
+        self.streams_send.clear()
+        self.streams_recv.clear()
+        self._control_frames.clear()
+        self.reserved_frames.clear()
+        self.wakeup_hints.clear()
+        for space, _path in self._spaces_and_paths():
+            space.release()
 
     def abort_on_plugin_failure(self, error: TransportError) -> None:
         """Plugin machinery failures terminate the connection (§2.1)."""
-        if not self.closed:
+        if self.state is ConnectionState.ACTIVE:
             self._close_frame_pending = F.ConnectionCloseFrame(
                 error_code=int(error.code), reason=error.reason
             )
@@ -640,8 +731,9 @@ class QuicConnection:
                 self.protoops.run(self, "path_validated", None, path.index)
 
     def _process_connection_close(self, conn, frame: F.ConnectionCloseFrame, ctx: dict) -> None:
-        if not self.closed:
-            self._finish_close(frame.error_code, frame.reason)
+        if self.state is ConnectionState.ACTIVE:
+            self._finish_close(frame.error_code, frame.reason,
+                               next_state=ConnectionState.DRAINING)
 
     # ------------------------------------------------------------------
     # ACK / loss protoops.
@@ -753,8 +845,10 @@ class QuicConnection:
         return self._last_activity + self.configuration.transport_parameters.idle_timeout
 
     def next_timer(self) -> Optional[float]:
-        if self.closed:
+        if self.state is ConnectionState.CLOSED:
             return None
+        if self.drain_deadline is not None:
+            return self.drain_deadline
         alarm = self.protoops.run(self, "set_loss_alarm", None)
         idle = self.protoops.run(self, "set_idle_timer", None)
         hints = (hint() for hint in self.wakeup_hints)
@@ -762,13 +856,19 @@ class QuicConnection:
         return min(candidates) if candidates else None
 
     def handle_timer(self, now: float) -> None:
-        if self.closed:
+        if self.state is ConnectionState.CLOSED:
             return
         self.now = max(self.now, now)
+        if self.drain_deadline is not None:
+            if now >= self.drain_deadline - 1e-12:
+                self._terminate()
+            return
         idle = self.protoops.run(self, "set_idle_timer", None)
         if now >= idle:
+            # Silent close (RFC 9000 §10.1): nothing is sent, no drain.
             self.protoops.run(self, "idle_timeout_event", None)
-            self._finish_close(0, "idle timeout")
+            self._finish_close(0, "idle timeout",
+                               next_state=ConnectionState.CLOSED)
             return
         alarm = self.protoops.run(self, "set_loss_alarm", None)
         if alarm is not None and now >= alarm - 1e-12:
@@ -805,7 +905,10 @@ class QuicConnection:
     # ------------------------------------------------------------------
 
     def receive_datagram(self, data: bytes, now: float, path_index: int = 0) -> None:
-        if self.closed:
+        if self.state is ConnectionState.CLOSING:
+            self._receive_while_closing(data, now)
+            return
+        if self.state is not ConnectionState.ACTIVE:
             return
         self.now = max(self.now, now)
         self._last_activity = self.now
@@ -818,6 +921,51 @@ class QuicConnection:
             pass  # undecryptable packets are dropped silently
         except TransportError as exc:
             self.close(int(exc.code), exc.reason)
+
+    def _receive_while_closing(self, data: bytes, now: float) -> None:
+        """CLOSING-state receive path (RFC 9000 §10.2.1/§10.2.2): the
+        peer's CONNECTION_CLOSE moves us to DRAINING; any other packet
+        re-arms our own close packet, rate-limited by doubling the
+        number of packets required between retransmissions."""
+        self.now = max(self.now, now)
+        if self._datagram_contains_close(data):
+            self._close_frame_pending = None
+            self._set_state(ConnectionState.DRAINING)
+            return
+        self._close_packets_seen += 1
+        if self._close_packets_seen >= self._close_rexmit_threshold:
+            self._close_packets_seen = 0
+            self._close_rexmit_threshold *= 2
+            if self.close_error is not None and self._close_frame_pending is None:
+                self._close_frame_pending = F.ConnectionCloseFrame(
+                    error_code=self.close_error[0], reason=self.close_error[1]
+                )
+
+    def _datagram_contains_close(self, data: bytes) -> bool:
+        """Decrypt and scan a datagram for CONNECTION_CLOSE without
+        processing it (used while CLOSING, when normal processing has
+        stopped).  Anything undecodable counts as not-a-close."""
+        try:
+            buf = Buffer(data)
+            header, payload_len = parse_header(buf, CID_LENGTH)
+            header_bytes = data[:buf.position]
+            ciphertext = buf.pull_bytes(payload_len)
+            pair = self.crypto.get(header.epoch)
+            if pair is None:
+                return False
+            space = (self.initial_space if header.epoch is Epoch.INITIAL
+                     else self.paths[0].space)
+            pn = decode_packet_number(header.packet_number, space.largest_received)
+            plaintext = pair.recv.open(pn, header_bytes, ciphertext)
+            fbuf = Buffer(plaintext)
+            while not fbuf.eof():
+                ftype = fbuf.pull_varint()
+                self.frame_registry.lookup(ftype).parse(fbuf, ftype)
+                if ftype in (F.CONNECTION_CLOSE, F.CONNECTION_CLOSE + 1):
+                    return True
+        except (QuicError, ValueError, KeyError):
+            return False
+        return False
 
     def _op_parse_packet_header(self, conn, buf: Buffer) -> tuple:
         return parse_header(buf, CID_LENGTH)
@@ -947,6 +1095,8 @@ class QuicConnection:
         path.local_addr = local_addr
         path.peer_addr = peer_addr
         path.active = True
+        if self.peer_transport_parameters is not None:
+            path.rtt.max_ack_delay = self.peer_transport_parameters.max_ack_delay
         self.paths.append(path)
         self.protoops.run(self, "path_created", None, path.index)
         return path.index
@@ -1113,6 +1263,12 @@ class QuicConnection:
             f for f in frames
             if f.ack_eliciting or isinstance(f, F.CryptoFrame)
         ]
+        largest_ack = -1
+        for f in frames:
+            if isinstance(f, F.AckFrame) and f.ranges:
+                top = f.ranges.largest()
+                if top > largest_ack:
+                    largest_ack = top
         sent = SentPacket(
             packet_number=pn,
             sent_time=self.now,
@@ -1121,6 +1277,7 @@ class QuicConnection:
             in_flight=ack_eliciting,
             frames=notified,
             path_id=path_index,
+            largest_ack_reported=largest_ack,
         )
         space.on_packet_sent(sent)
         if sent.in_flight:

@@ -12,7 +12,12 @@ from typing import Callable, Optional
 
 from repro.netsim import Datagram, Host, Simulator
 
-from .connection import CID_LENGTH, QuicConfiguration, QuicConnection
+from .connection import (
+    CID_LENGTH,
+    ConnectionState,
+    QuicConfiguration,
+    QuicConnection,
+)
 from .packet import FORM_LONG
 
 
@@ -27,6 +32,12 @@ class _ConnectionDriver:
         self.peer_port = peer_port
         self.conn = conn
         self._timer_event = None
+        #: CIDs this driver is registered under in a server demux table.
+        self.bound_cids: list[bytes] = []
+        #: Called once when the connection reaches CLOSED (after the
+        #: drain period); endpoints use it to evict and unbind.
+        self.on_terminated: Optional[Callable[["_ConnectionDriver"], None]] = None
+        self._terminated = False
 
     def pump(self) -> None:
         """Send everything sendable and rearm the timer."""
@@ -39,13 +50,22 @@ class _ConnectionDriver:
                 path.peer_addr, self.peer_port,
             )
         self._rearm_timer()
+        if (not self._terminated
+                and self.conn.state is ConnectionState.CLOSED):
+            self._terminated = True
+            self.stop()
+            if self.on_terminated is not None:
+                self.on_terminated(self)
 
     def _rearm_timer(self) -> None:
         if self._timer_event is not None:
             self._timer_event.cancel()
             self._timer_event = None
+        # A closing/draining connection still reports its drain deadline
+        # through next_timer(); only CLOSED (or a fully idle connection)
+        # returns None.
         deadline = self.conn.next_timer()
-        if deadline is None or self.conn.closed:
+        if deadline is None:
             return
         # Enforce minimum progress: a deadline at or before `now` must
         # still advance simulated time, or a no-op alarm would loop the
@@ -112,7 +132,9 @@ class ClientEndpoint:
         path0.local_addr = local_addr
         path0.peer_addr = server_addr
         self.driver = _ConnectionDriver(sim, host, local_port, server_port, self.conn)
+        self.driver.on_terminated = self._on_terminated
         host.bind(local_port, self.driver.receive)
+        self._unbound = False
 
     def connect(self) -> None:
         """Kick off the handshake (the client Initial)."""
@@ -122,13 +144,27 @@ class ClientEndpoint:
         self.driver.pump()
 
     def close(self, error_code: int = 0, reason: str = "") -> None:
+        """Begin closing: send CONNECTION_CLOSE and enter the drain
+        period.  The port unbinds once the connection terminates."""
         self.conn.close(error_code, reason)
         self.driver.pump()
-        self.driver.stop()
+
+    def _on_terminated(self, driver: _ConnectionDriver) -> None:
+        if not self._unbound:
+            self._unbound = True
+            self.host.unbind(driver.local_port)
 
 
 class ServerEndpoint:
-    """A server endpoint accepting any number of connections on one port."""
+    """A server endpoint accepting any number of connections on one port.
+
+    Connections whose drain period ends are *evicted*: their drivers are
+    unbound from the CID demux table, removed from ``connections`` and
+    their timer events cancelled, so a server under churn stays bounded
+    by the number of *open* connections.  Lifecycle counters live in
+    ``stats`` and, when a metrics registry is supplied, are mirrored
+    into it under ``quic.server.*``.
+    """
 
     def __init__(
         self,
@@ -138,6 +174,7 @@ class ServerEndpoint:
         port: int,
         configuration_factory: Optional[Callable[[], QuicConfiguration]] = None,
         on_connection: Optional[Callable[[QuicConnection], None]] = None,
+        metrics=None,
     ):
         self.sim = sim
         self.host = host
@@ -147,8 +184,15 @@ class ServerEndpoint:
             lambda: QuicConfiguration(is_client=False)
         )
         self.on_connection = on_connection
+        self.metrics = metrics
         self.connections: list[QuicConnection] = []
         self._by_cid: dict[bytes, _ConnectionDriver] = {}
+        self.stats = {
+            "accepted": 0,
+            "evicted": 0,
+            "cids_retired": 0,
+            "peak_connections": 0,
+        }
         host.bind(port, self._receive)
 
     def _receive(self, dgram: Datagram) -> None:
@@ -174,9 +218,39 @@ class ServerEndpoint:
         self.connections.append(conn)
         self._by_cid[dcid] = driver           # client's initial random DCID
         self._by_cid[conn.local_cid] = driver  # our CID in short headers
+        driver.bound_cids = [dcid, conn.local_cid]
+        driver.on_terminated = self._evict
+        self.stats["accepted"] += 1
+        if len(self.connections) > self.stats["peak_connections"]:
+            self.stats["peak_connections"] = len(self.connections)
+        if self.metrics is not None:
+            self.metrics.counter("quic.server.connections_accepted").inc()
+            self.metrics.gauge("quic.server.connections_peak").set(
+                float(len(self.connections)))
         if self.on_connection is not None:
             self.on_connection(conn)
         return driver
+
+    def _evict(self, driver: _ConnectionDriver) -> None:
+        """Unbind a terminated connection from the demux table and drop
+        it from the live list; its timer events are already cancelled by
+        the driver."""
+        retired = 0
+        for cid in driver.bound_cids:
+            if self._by_cid.get(cid) is driver:
+                del self._by_cid[cid]
+                retired += 1
+        driver.bound_cids = []
+        try:
+            self.connections.remove(driver.conn)
+        except ValueError:
+            pass
+        self.stats["evicted"] += 1
+        self.stats["cids_retired"] += retired
+        if self.metrics is not None:
+            self.metrics.counter("quic.server.connections_evicted").inc()
+            if retired:
+                self.metrics.counter("quic.server.cids_retired").inc(retired)
 
     @staticmethod
     def _destination_cid(payload: bytes) -> Optional[bytes]:

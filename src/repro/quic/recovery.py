@@ -31,6 +31,10 @@ class RttEstimator:
         self.smoothed: float = initial_rtt
         self.variance: float = initial_rtt / 2
         self.samples = 0
+        #: The peer's negotiated ``max_ack_delay`` transport parameter;
+        #: caps the ack_delay it may subtract from samples (RFC 9002
+        #: §5.3) and bounds the PTO slack.
+        self.max_ack_delay = MAX_ACK_DELAY
 
     def update(self, latest: float, ack_delay: float = 0.0) -> None:
         if latest <= 0:
@@ -43,6 +47,11 @@ class RttEstimator:
             self.variance = latest / 2
             return
         self.min_rtt = min(self.min_rtt, latest)
+        # RFC 9002 §5.3: a peer may not claim more delay than it
+        # negotiated — unclamped, a misbehaving peer reporting huge
+        # ack_delays would drag smoothed RTT toward min_rtt and mask
+        # real queueing.
+        ack_delay = min(ack_delay, self.max_ack_delay)
         adjusted = latest
         if latest - ack_delay >= self.min_rtt:
             adjusted = latest - ack_delay
@@ -50,7 +59,7 @@ class RttEstimator:
         self.smoothed = 0.875 * self.smoothed + 0.125 * adjusted
 
     def pto(self) -> float:
-        return self.smoothed + max(4 * self.variance, K_GRANULARITY) + MAX_ACK_DELAY
+        return self.smoothed + max(4 * self.variance, K_GRANULARITY) + self.max_ack_delay
 
 
 @dataclass
@@ -64,6 +73,11 @@ class SentPacket:
     in_flight: bool
     frames: list = field(default_factory=list)
     path_id: int = 0
+    #: Largest received packet number this packet's ACK frame reported,
+    #: or -1 if it carried no ACK.  When the peer acks this packet it
+    #: has provably seen that ACK, so received ranges at or below the
+    #: bound can be pruned (they will never need re-reporting).
+    largest_ack_reported: int = -1
 
 
 @dataclass
@@ -158,6 +172,16 @@ class PacketNumberSpace:
                 rtt.update(result.latest_rtt, ack.ack_delay)
         if largest > self.largest_acked:
             self.largest_acked = largest
+        # ACK-of-ACK pruning: the peer just acked packets whose ACK
+        # frames reported everything up to `bound`, so it has provably
+        # seen those ranges acknowledged — they never need re-reporting
+        # and can leave `received`, keeping it bounded on long transfers.
+        bound = -1
+        for pkt in result.newly_acked:
+            if pkt.largest_ack_reported > bound:
+                bound = pkt.largest_ack_reported
+        if bound >= 0:
+            self.received.prune_below(bound)
         result.lost = self.detect_lost(now, rtt)
         return result
 
@@ -201,6 +225,14 @@ class PacketNumberSpace:
         """Earliest of the loss-time and PTO alarms."""
         candidates = [t for t in (self.loss_time, self.pto_deadline(rtt, pto_count)) if t is not None]
         return min(candidates) if candidates else None
+
+    def release(self) -> None:
+        """Drop all send/receive tracking (connection terminated)."""
+        self.sent.clear()
+        self.received = RangeSet()
+        self.loss_time = None
+        self.last_ack_eliciting_sent = None
+        self.ack_needed = False
 
     def on_pto(self, now: float, rtt: RttEstimator) -> list:
         """PTO expiry: declare the oldest ack-eliciting packets lost so

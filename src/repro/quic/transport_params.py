@@ -22,6 +22,7 @@ PARAM_INITIAL_MAX_STREAM_DATA = 0x05
 PARAM_INITIAL_MAX_STREAMS_BIDI = 0x08
 PARAM_INITIAL_MAX_STREAMS_UNI = 0x09
 PARAM_ACK_DELAY_EXPONENT = 0x0A
+PARAM_MAX_ACK_DELAY = 0x0B
 PARAM_ORIGINAL_DCID = 0x0F
 PARAM_SUPPORTED_PLUGINS = 0x50
 PARAM_PLUGINS_TO_INJECT = 0x51
@@ -38,6 +39,9 @@ class TransportParameters:
     initial_max_streams_bidi: int = 100
     initial_max_streams_uni: int = 100
     ack_delay_exponent: int = 3
+    #: Most delay (seconds) this endpoint may hold ACKs; the peer caps
+    #: reported ack_delays here when adjusting RTT (RFC 9002 §5.3).
+    max_ack_delay: float = 0.025
     original_dcid: Optional[bytes] = None
     supported_plugins: list = field(default_factory=list)
     plugins_to_inject: list = field(default_factory=list)
@@ -61,6 +65,7 @@ class TransportParameters:
         put_varint(PARAM_INITIAL_MAX_STREAMS_BIDI, self.initial_max_streams_bidi)
         put_varint(PARAM_INITIAL_MAX_STREAMS_UNI, self.initial_max_streams_uni)
         put_varint(PARAM_ACK_DELAY_EXPONENT, self.ack_delay_exponent)
+        put_varint(PARAM_MAX_ACK_DELAY, int(self.max_ack_delay * 1000))
         if self.original_dcid is not None:
             put(PARAM_ORIGINAL_DCID, self.original_dcid)
         for pid, names in (
@@ -100,6 +105,8 @@ class TransportParameters:
                 params.initial_max_streams_uni = inner.pull_varint()
             elif pid == PARAM_ACK_DELAY_EXPONENT:
                 params.ack_delay_exponent = inner.pull_varint()
+            elif pid == PARAM_MAX_ACK_DELAY:
+                params.max_ack_delay = inner.pull_varint() / 1000.0
             elif pid == PARAM_ORIGINAL_DCID:
                 params.original_dcid = payload
             elif pid == PARAM_SUPPORTED_PLUGINS:

@@ -241,6 +241,18 @@ class RangeSet:
         out._ranges = list(self._ranges[-max_ranges:])
         return out
 
+    def prune_below(self, bound: int) -> int:
+        """Drop ranges lying entirely below ``bound``; the range
+        containing ``bound`` (if any) is kept whole, so the retained
+        tail is unchanged.  Returns the number of ranges dropped."""
+        ranges = self._ranges
+        keep = 0
+        while keep < len(ranges) and ranges[keep].stop <= bound:
+            keep += 1
+        if keep:
+            del ranges[:keep]
+        return keep
+
     def __contains__(self, value: int) -> bool:
         ranges = self._ranges
         if not ranges:

@@ -120,6 +120,10 @@ EVENT_CATALOG: dict = {
               "The handshake completed."),
         _spec("connection_closed", "connectivity",
               "The connection closed."),
+        _spec("connection_state_updated", "connectivity",
+              "The lifecycle state machine moved "
+              "(closing/draining/closed, RFC 9000 §10).",
+              state="str"),
         # --- plugin lifecycle --------------------------------------------
         _spec("plugin_injected", "plugin",
               "A plugin attached all its pluglets.",

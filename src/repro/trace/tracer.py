@@ -92,6 +92,10 @@ def _d_stream_opened(args, result):
     return {"stream_id": args[0]}
 
 
+def _d_state(args, result):
+    return {"state": args[0]}
+
+
 def _d_plugin(args, result):
     return {"plugin": args[0]}
 
@@ -143,6 +147,8 @@ HOOKS = {
     "connection_established": ("connectivity", "connection_established",
                                _d_empty),
     "connection_closed": ("connectivity", "connection_closed", _d_empty),
+    "connection_state_changed": ("connectivity", "connection_state_updated",
+                                 _d_state),
     "stream_opened": ("transport", "stream_opened", _d_stream_opened),
     "loss_alarm_fired": ("recovery", "loss_alarm_fired", _d_empty),
     "plugin_injected": ("plugin", "plugin_injected", _d_plugin),

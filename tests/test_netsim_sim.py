@@ -178,3 +178,103 @@ def test_step_single_event():
     assert fired == [1]
     assert sim.step()
     assert not sim.step()
+
+
+# --- hybrid near-heap / far-wheel queue --------------------------------------
+
+def test_cross_horizon_ordering():
+    """Near (heap) and far (wheel) events interleave in exact time order."""
+    from repro.netsim.sim import NEAR_HORIZON
+
+    sim = Simulator()
+    fired = []
+    delays = [0.001, NEAR_HORIZON - 1e-6, NEAR_HORIZON, NEAR_HORIZON + 1e-6,
+              0.1, 0.9, 0.3, 5.0, 0.24, 0.26, 2.5, 0.0]
+    for d in delays:
+        sim.schedule(d, fired.append, d)
+    sim.run()
+    assert fired == sorted(delays)
+
+
+def test_cross_horizon_scheduling_order_tiebreak():
+    """Identical deadlines fire in scheduling order even when the events
+    landed in different queues at schedule time."""
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, fired.append, "far-first")   # wheel
+    sim.run(until=0.9)                             # 1.0 is now near
+    sim.schedule(0.1, fired.append, "near-second")  # heap, same deadline
+    sim.run()
+    assert fired == ["far-first", "near-second"]
+
+
+def test_far_event_cancellation_and_compaction():
+    sim = Simulator()
+    fired = []
+    events = [sim.schedule(10.0 + i, fired.append, i) for i in range(100)]
+    keep = events[::10]
+    for ev in events:
+        if ev not in keep:
+            ev.cancel()
+    assert sim.pending() == len(keep)
+    sim.run()
+    assert fired == [0, 10, 20, 30, 40, 50, 60, 70, 80, 90]
+
+
+def test_hybrid_determinism_against_reference():
+    """A mixed schedule/cancel workload fires exactly like a sorted list."""
+    sim = Simulator()
+    fired = []
+    expected = []
+    # A deterministic pseudo-random stream (no RNG: keep the test simple).
+    seq = [(i * 2654435761 % 1000) / 250.0 for i in range(300)]
+    handles = []
+    for i, d in enumerate(seq):
+        handles.append((d, i, sim.schedule(d, fired.append, (d, i))))
+    for j, (d, i, ev) in enumerate(handles):
+        if j % 3 == 0:
+            ev.cancel()
+        else:
+            expected.append((d, i))
+    expected.sort()
+    sim.run()
+    assert fired == expected
+
+
+def test_wheel_overflow_beyond_horizon():
+    """Events past the wheel's top-level horizon park in its overflow
+    heap and still fire (the idle-timeout-of-the-far-future case)."""
+    sim = Simulator()
+    fired = []
+    sim.schedule(2_000_000.0, fired.append, "overflow")
+    sim.schedule(1.0, fired.append, "wheel")
+    sim.schedule(0.01, fired.append, "heap")
+    sim.run()
+    assert fired == ["heap", "wheel", "overflow"]
+
+
+def test_run_until_pushback_across_horizon():
+    """run_until may pop a far event past its deadline; the push-back
+    must preserve its place in the order."""
+    sim = Simulator()
+    fired = []
+    sim.schedule(5.0, fired.append, "far")
+    assert not sim.run_until(lambda: False, timeout=1.0)
+    assert sim.pending() == 1
+    sim.schedule(0.5, fired.append, "near")  # now at t=1.0 -> fires at 1.5
+    sim.run()
+    assert fired == ["near", "far"]
+
+
+def test_rearm_churn_stays_bounded():
+    """Cancel + reschedule of standing far timers (the per-packet idle
+    alarm pattern) must not accumulate dead events."""
+    sim = Simulator()
+    alarm = sim.schedule(30.0, lambda: None)
+    for _ in range(5000):
+        alarm.cancel()
+        alarm = sim.schedule(30.0, lambda: None)
+    assert sim.pending() == 1
+    # The internal queues hold at most O(live + recent garbage) entries.
+    assert len(sim._heap) + len(sim._wheel) < 64
+

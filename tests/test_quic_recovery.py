@@ -42,13 +42,24 @@ class TestRttEstimator:
 
     def test_ack_delay_subtracted_when_above_min(self):
         rtt = RttEstimator()
+        rtt.max_ack_delay = 0.1  # negotiated cap above the reported delay
         rtt.update(0.1)
         rtt.update(0.2, ack_delay=0.05)
         # adjusted sample is 0.15
         assert rtt.smoothed == pytest.approx(0.875 * 0.1 + 0.125 * 0.15)
 
+    def test_ack_delay_clamped_to_max_ack_delay(self):
+        # RFC 9002 §5.3: the peer may not claim more delay than its
+        # negotiated max_ack_delay (default 25 ms).
+        rtt = RttEstimator()
+        rtt.update(0.1)
+        rtt.update(0.2, ack_delay=0.05)
+        # adjusted sample is 0.2 - 0.025 = 0.175, not 0.15
+        assert rtt.smoothed == pytest.approx(0.875 * 0.1 + 0.125 * 0.175)
+
     def test_ack_delay_ignored_when_below_min(self):
         rtt = RttEstimator()
+        rtt.max_ack_delay = 0.1
         rtt.update(0.1)
         rtt.update(0.11, ack_delay=0.05)  # 0.06 < min_rtt -> keep raw
         assert rtt.smoothed == pytest.approx(0.875 * 0.1 + 0.125 * 0.11)
@@ -165,6 +176,73 @@ class TestReceiveTracking:
         frame = space.ack_frame(0.0)
         assert len(frame.ranges) <= 32
         assert frame.ranges.largest() == 198
+
+
+class TestAckOfAckPruning:
+    def test_received_pruned_after_ack_of_ack(self):
+        space = PacketNumberSpace()
+        rtt = RttEstimator()
+        for pn in list(range(10)) + list(range(20, 30)):
+            space.record_received(pn, now=0.0, ack_eliciting=True)
+        # Packet 0 carried an ACK reporting everything up to 29: the old
+        # range 0-9 is provably seen; the range containing the bound is
+        # kept whole so the reported tail never changes.
+        space.on_packet_sent(sent(0))
+        space.sent[0].largest_ack_reported = 29
+        space.on_ack_received(ack_of(0), now=0.1, rtt=rtt)
+        assert list(space.received) == [range(20, 30)]
+
+    def test_straddled_range_kept_whole(self):
+        space = PacketNumberSpace()
+        rtt = RttEstimator()
+        for pn in range(10):
+            space.record_received(pn, now=0.0, ack_eliciting=True)
+        space.on_packet_sent(sent(0))
+        space.sent[0].largest_ack_reported = 5
+        space.on_ack_received(ack_of(0), now=0.1, rtt=rtt)
+        # The range containing 5 survives whole so the next ACK frame
+        # still reports a tail identical to the unpruned one.
+        assert list(space.received) == [range(0, 10)]
+
+    def test_ack_frame_tail_identical_after_pruning(self):
+        pruned, unpruned = PacketNumberSpace(), PacketNumberSpace()
+        rtt = RttEstimator()
+        for space in (pruned, unpruned):
+            for pn in list(range(0, 20)) + list(range(30, 40)):
+                space.record_received(pn, now=0.0, ack_eliciting=True)
+        pruned.on_packet_sent(sent(0))
+        pruned.sent[0].largest_ack_reported = 39
+        pruned.on_ack_received(ack_of(0), now=0.1, rtt=rtt)
+        assert list(pruned.received) == [range(30, 40)]
+        # Everything the pruned frame reports, the unpruned frame
+        # reports identically: pruning only drops the provably-seen head.
+        f_pruned = pruned.ack_frame(now=0.2)
+        f_unpruned = unpruned.ack_frame(now=0.2)
+        assert list(f_pruned.ranges) == list(f_unpruned.ranges)[-1:]
+        assert f_pruned.ranges.largest() == f_unpruned.ranges.largest()
+
+    def test_no_pruning_without_ack_carrying_packets(self):
+        space = PacketNumberSpace()
+        rtt = RttEstimator()
+        for pn in range(5):
+            space.record_received(pn, now=0.0, ack_eliciting=True)
+        space.on_packet_sent(sent(0))  # default: no ACK frame inside
+        space.on_ack_received(ack_of(0), now=0.1, rtt=rtt)
+        assert list(space.received) == [range(0, 5)]
+
+    def test_release_clears_tracking_state(self):
+        space = PacketNumberSpace()
+        rtt = RttEstimator()
+        space.on_packet_sent(sent(0))
+        space.on_packet_sent(sent(1))
+        space.record_received(7, now=0.0, ack_eliciting=True)
+        space.on_ack_received(ack_of(1), now=0.1, rtt=rtt)
+        assert space.loss_time is not None or space.sent
+        space.release()
+        assert not space.sent
+        assert list(space.received) == []
+        assert space.loss_time is None
+        assert not space.ack_needed
 
 
 class TestLossTimerProgress:

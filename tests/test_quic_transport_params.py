@@ -32,6 +32,18 @@ def test_roundtrip_custom_values():
     assert parsed.original_dcid == b"\x01\x02\x03"
 
 
+def test_max_ack_delay_roundtrip():
+    # RFC 9000 §18.2: max_ack_delay travels as milliseconds.
+    params = TransportParameters(max_ack_delay=0.040)
+    parsed = TransportParameters.parse(params.serialize())
+    assert parsed.max_ack_delay == pytest.approx(0.040)
+
+
+def test_max_ack_delay_default():
+    parsed = TransportParameters.parse(TransportParameters().serialize())
+    assert parsed.max_ack_delay == pytest.approx(0.025)
+
+
 def test_plugin_parameters_roundtrip():
     # §3.4: supported_plugins / plugins_to_inject are ordered lists.
     params = TransportParameters(

@@ -138,7 +138,26 @@ class TestRangeSet:
         assert rs.bounds() == range(5, 25)
         assert rs.largest() == 24
         assert rs.smallest() == 5
-        assert rs.covered() == 8
+
+    def test_prune_below_drops_wholly_covered_ranges(self):
+        rs = RangeSet([range(0, 5), range(10, 15), range(20, 25)])
+        assert rs.prune_below(5) == 1
+        assert list(rs) == [range(10, 15), range(20, 25)]
+
+    def test_prune_below_keeps_straddling_range_whole(self):
+        rs = RangeSet([range(0, 5), range(10, 15)])
+        assert rs.prune_below(12) == 1
+        assert list(rs) == [range(10, 15)]
+
+    def test_prune_below_everything(self):
+        rs = RangeSet([range(0, 5), range(10, 15)])
+        assert rs.prune_below(100) == 2
+        assert list(rs) == []
+
+    def test_prune_below_noop(self):
+        rs = RangeSet([range(10, 15)])
+        assert rs.prune_below(0) == 0
+        assert list(rs) == [range(10, 15)]
 
     def test_empty_accessors_raise(self):
         rs = RangeSet()

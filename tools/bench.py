@@ -2,12 +2,13 @@
 """Fast-path benchmark harness and regression gate.
 
 Runs the Table-3 / §4.6-style workloads across every layer the fast-path
-engine touches and writes ``BENCH_pr4.json`` at the repository root — the
+engine touches — plus the many-connection ``quic-scale`` lifecycle
+workload — and writes ``BENCH_pr5.json`` at the repository root, the
 trajectory file that future PRs compare themselves against.
 
 Usage (from the repository root)::
 
-    python tools/bench.py            # full run, writes BENCH_pr4.json
+    python tools/bench.py            # full run, writes BENCH_pr5.json
     python tools/bench.py --quick    # smaller iteration counts (CI smoke)
     python tools/bench.py --quick --check
                                      # additionally fail on >2x regression
@@ -358,6 +359,113 @@ def bench_transfer(quick: bool) -> dict:
     return {"e2e_transfer_bytes_per_sec": (size / t, "B/s")}
 
 
+def bench_quic_scale(quick: bool) -> dict:
+    """Many-connection server scale: N concurrent clients through one
+    shared bottleneck against a single ``ServerEndpoint``, then a
+    sequential churn loop.  Exercises the close/drain state machine,
+    server-side eviction and the far-timer wheel; asserts along the way
+    that server state stays bounded by the number of *open* connections.
+    """
+    from repro.netsim import Simulator, symmetric_topology
+    from repro.quic import ClientEndpoint, ServerEndpoint
+    from repro.quic.connection import ConnectionState
+    from repro.trace import MetricsRegistry
+
+    n_concurrent = 60 if quick else 500
+    n_churn = 100 if quick else 1000
+
+    # --- phase 1: N concurrent connections -----------------------------
+    sim = Simulator()
+    topo = symmetric_topology(sim, d_ms=10, bw_mbps=20)
+    metrics = MetricsRegistry()
+
+    def on_conn(conn):
+        def on_data(sid, data, fin):
+            if fin:
+                conn.close(0, "done")
+        conn.on_stream_data = on_data
+
+    server = ServerEndpoint(sim, topo.server, "server.0", 443,
+                            on_connection=on_conn, metrics=metrics)
+    clients = []
+    closed_clients = [0]
+
+    for i in range(n_concurrent):
+        client = ClientEndpoint(sim, topo.client, "client.0", 5000 + i,
+                                "server.0", 443)
+        client.conn.on_closed = (
+            lambda c: closed_clients.__setitem__(0, closed_clients[0] + 1))
+        clients.append(client)
+
+    def run_concurrent():
+        # Staggered starts (2 ms apart) so the Initial burst does not
+        # overrun the shared bottleneck buffer.
+        for i, client in enumerate(clients):
+            sim.schedule(i * 0.002, client.connect)
+
+        def sendall():
+            for client in clients:
+                if client.conn.is_established and not client.conn.closed \
+                        and not client.conn.streams_send:
+                    sid = client.conn.create_stream()
+                    client.conn.send_stream_data(sid, b"q" * 1200, fin=True)
+                    client.pump()
+
+        # Poll for establishment on a coarse clock instead of per-event.
+        for k in range(1, 200):
+            sim.schedule(k * 0.05, sendall)
+        ok = sim.run_until(
+            lambda: (server.stats["evicted"] == n_concurrent
+                     and closed_clients[0] == n_concurrent),
+            timeout=300,
+        )
+        assert ok, (
+            f"scale run stalled: evicted={server.stats['evicted']}"
+            f"/{n_concurrent}, clients closed={closed_clients[0]}")
+
+    t_concurrent, _ = _time(run_concurrent)
+    assert server.stats["accepted"] == n_concurrent
+    assert len(server._by_cid) == 0 and len(server.connections) == 0
+    assert metrics.counter("quic.server.connections_evicted").value \
+        == n_concurrent
+
+    # --- phase 2: sequential churn --------------------------------------
+    sim2 = Simulator()
+    topo2 = symmetric_topology(sim2, d_ms=5, bw_mbps=50)
+    server2 = ServerEndpoint(sim2, topo2.server, "server.0", 443,
+                             on_connection=on_conn)
+
+    def run_churn():
+        for _ in range(n_churn):
+            client = ClientEndpoint(sim2, topo2.client, "client.0", 5000,
+                                    "server.0", 443)
+            client.connect()
+            assert sim2.run_until(lambda: client.conn.is_established,
+                                  timeout=10)
+            sid = client.conn.create_stream()
+            client.conn.send_stream_data(sid, b"q" * 600, fin=True)
+            client.pump()
+            assert sim2.run_until(
+                lambda: client.conn.state is ConnectionState.CLOSED,
+                timeout=60)
+            # Bounded server state: everything from terminated
+            # connections is evicted (<= one still-draining connection).
+            assert len(server2._by_cid) <= 2, len(server2._by_cid)
+            assert len(server2.connections) <= 1
+        # Let the last drain finish, then the event queue must be empty
+        # of connection timers (only the nothing-pending steady state).
+        sim2.run(until=sim2.now + 2.0)
+        assert len(server2._by_cid) == 0
+        assert sim2.pending() == 0, sim2.pending()
+
+    t_churn, _ = _time(run_churn)
+    assert server2.stats["evicted"] == n_churn
+    return {
+        "quic_scale_conns_per_sec": (n_concurrent / t_concurrent, "conns/s"),
+        "quic_churn_conns_per_sec": (n_churn / t_churn, "conns/s"),
+    }
+
+
 WORKLOADS = [
     ("pre-kernel", bench_pre_kernel),
     ("analysis", bench_analysis),
@@ -367,6 +475,7 @@ WORKLOADS = [
     ("crypto", bench_crypto),
     ("simulator", bench_simulator),
     ("e2e-transfer", bench_transfer),
+    ("quic-scale", bench_quic_scale),
 ]
 
 
@@ -415,9 +524,9 @@ def main(argv=None) -> int:
     parser.add_argument("--check", action="store_true",
                         help="fail on >2x regression vs the baseline")
     parser.add_argument("--output", type=pathlib.Path,
-                        default=ROOT / "BENCH_pr4.json")
+                        default=ROOT / "BENCH_pr5.json")
     parser.add_argument("--baseline", type=pathlib.Path,
-                        default=ROOT / "BENCH_pr4.json",
+                        default=ROOT / "BENCH_pr5.json",
                         help="baseline file compared by --check")
     args = parser.parse_args(argv)
 
@@ -462,7 +571,7 @@ def main(argv=None) -> int:
 
     report = {
         "schema": "pquic-bench-v1",
-        "pr": "pr4",
+        "pr": "pr5",
         "quick": args.quick,
         "python": sys.version.split()[0],
         "metrics": metrics,
