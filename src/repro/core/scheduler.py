@@ -89,6 +89,17 @@ def schedule_packet_frames(conn, epoch: Epoch, path_index: int, budget: int):
             ack_only = False
         return frames, ack_only
 
+    # Path probe frames (PATH_CHALLENGE / PATH_RESPONSE) are bound to
+    # this very path (RFC 9000 §8.2.2) and, like ACKs, exempt from the
+    # congestion window (§8.2.4 allows probing outside the send window).
+    while path.probe_frames:
+        data = path.probe_frames[0].to_bytes()
+        if used + len(data) > budget:
+            break
+        frames.append(path.probe_frames.pop(0))
+        used += len(data)
+        ack_only = False
+
     # Non-congestion-controlled plugin frames (e.g. MP_ACK) are exempt
     # from the window, like ACKs.
     for reserved in list(conn.reserved_frames):

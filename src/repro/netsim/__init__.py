@@ -2,10 +2,16 @@
 
 from .faults import FaultInjector, FaultStats
 from .link import IPV4_UDP_OVERHEAD, Link, Pipe, SeededLossGen
-from .node import Datagram, Host, Interface, Node, Router
+from .node import Datagram, Host, Interface, Nat, Node, Router
 from .sim import Event, Simulator
 from .tcp import TcpBulkTransfer, TcpReceiver, TcpSender
-from .topology import Figure7Topology, PathParams, symmetric_topology
+from .topology import (
+    Figure7Topology,
+    NatTopology,
+    PathParams,
+    nat_topology,
+    symmetric_topology,
+)
 
 __all__ = [
     "Datagram",
@@ -17,6 +23,8 @@ __all__ = [
     "IPV4_UDP_OVERHEAD",
     "Interface",
     "Link",
+    "Nat",
+    "NatTopology",
     "Node",
     "PathParams",
     "Pipe",
@@ -26,5 +34,6 @@ __all__ = [
     "TcpBulkTransfer",
     "TcpReceiver",
     "TcpSender",
+    "nat_topology",
     "symmetric_topology",
 ]

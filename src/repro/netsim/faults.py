@@ -12,7 +12,12 @@ never produces:
 * **reordering bursts** — the datagram is held back so later packets
   overtake it;
 * **link flaps** — scheduled windows during which the wrapped pipes
-  black-hole everything.
+  black-hole everything;
+* **NAT rebinds** — a scheduled flush of a :class:`~repro.netsim.node.Nat`
+  hop's binding table, so an inside flow reappears from a new external
+  address mid-connection (RFC 9000 §9 migration);
+* **address spoofs** — a single forged datagram injected with an
+  attacker-chosen source address (off-path injection, RFC 9000 §9.3.2).
 
 Every fault type draws from its *own* seeded RNG on *every* packet, so
 enabling or re-rating one fault never shifts the decision sequence of the
@@ -41,7 +46,7 @@ class FaultStats:
     """Counters for every injected fault, per injector."""
 
     __slots__ = ("corrupted", "duplicated", "reordered", "dropped_down",
-                 "flaps", "delivered")
+                 "flaps", "delivered", "nat_rebinds", "spoofed")
 
     def __init__(self) -> None:
         self.corrupted = 0
@@ -50,6 +55,8 @@ class FaultStats:
         self.dropped_down = 0
         self.flaps = 0
         self.delivered = 0
+        self.nat_rebinds = 0
+        self.spoofed = 0
 
     def as_dict(self) -> dict:
         return {name: getattr(self, name) for name in self.__slots__}
@@ -132,6 +139,36 @@ class FaultInjector:
             raise ValueError("flap duration must be > 0")
         self.sim.schedule_at(down_at, self.set_down, True)
         self.sim.schedule_at(down_at + duration, self.set_down, False)
+
+    # --- address-level adversaries ----------------------------------------
+
+    def schedule_nat_rebind(self, nat, at: float) -> None:
+        """Flush ``nat``'s binding table at ``at`` (absolute simulation
+        time): its inside flows reappear from a fresh external
+        address/port and the transport must survive the migration."""
+        if at < 0:
+            raise ValueError("rebind time must be >= 0")
+        self.sim.schedule_at(at, self._do_rebind, nat)
+
+    def _do_rebind(self, nat) -> None:
+        nat.rebind()
+        self.stats.nat_rebinds += 1
+
+    def schedule_address_spoof(self, host, at: float, payload: bytes,
+                               src_addr: str, src_port: int,
+                               dst_addr: str, dst_port: int) -> None:
+        """Inject one forged datagram with an attacker-chosen source at
+        ``at``.  ``host`` is the attacker's injection point and must own
+        an interface for ``src_addr``."""
+        if at < 0:
+            raise ValueError("spoof time must be >= 0")
+        self.sim.schedule_at(at, self._do_spoof, host, payload,
+                             src_addr, src_port, dst_addr, dst_port)
+
+    def _do_spoof(self, host, payload, src_addr, src_port,
+                  dst_addr, dst_port) -> None:
+        self.stats.spoofed += 1
+        host.sendto(payload, src_addr, src_port, dst_addr, dst_port)
 
     # --- the fault pipeline -----------------------------------------------
 

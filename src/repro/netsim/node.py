@@ -136,6 +136,89 @@ class Host(Node):
         return [iface.address for iface in self.interfaces]
 
 
+class Nat(Node):
+    """An address-translating hop (NAPT) between one inside host and the
+    outside network.
+
+    Outbound datagrams get their source rewritten to the NAT's current
+    external address and a per-flow external port; inbound datagrams are
+    matched on destination port and rewritten back to the inside flow.
+    :meth:`rebind` models the event QUIC's connection IDs exist to survive
+    (§4.3 / RFC 9000 §9): the binding table is flushed and the external
+    address changes generation, so the same inside flow reappears to the
+    outside world from a brand-new source address and port.
+    """
+
+    def __init__(self, sim: Simulator, name: str,
+                 external_prefix: str = "nat", port_base: int = 42000):
+        super().__init__(sim, name)
+        self.external_prefix = external_prefix
+        self.port_base = port_base
+        self.generation = 0
+        self.inside: Optional[Interface] = None
+        self.outside: Optional[Interface] = None
+        self._forward: dict[tuple[str, int], int] = {}
+        self._reverse: dict[int, tuple[str, int]] = {}
+        self._next_port = port_base
+        self.translated = 0
+        self.dropped = 0
+        self.rebinds = 0
+
+    @property
+    def external_addr(self) -> str:
+        return f"{self.external_prefix}.{self.generation}"
+
+    def attach_inside(self, link: Link, address: str = "",
+                      far_side: bool = False) -> Interface:
+        self.inside = self.attach(link, address or f"{self.name}.in", far_side)
+        return self.inside
+
+    def attach_outside(self, link: Link, far_side: bool = False) -> Interface:
+        self.outside = self.attach(link, self.external_addr, far_side)
+        return self.outside
+
+    def rebind(self) -> None:
+        """Flush all bindings and move to a fresh external address — the
+        classic mid-connection NAT rebinding."""
+        self._forward.clear()
+        self._reverse.clear()
+        self.generation += 1
+        self._next_port = self.port_base + 1000 * self.generation
+        if self.outside is not None:
+            self.outside.address = self.external_addr
+        self.rebinds += 1
+
+    def receive(self, dgram: Datagram, iface: Interface) -> None:
+        dgram.hops += 1
+        if dgram.hops > self.MAX_HOPS:
+            self.dropped += 1
+            return
+        if iface is self.inside:
+            key = (dgram.src_addr, dgram.src_port)
+            port = self._forward.get(key)
+            if port is None:
+                port = self._next_port
+                self._next_port += 1
+                self._forward[key] = port
+                self._reverse[port] = key
+            self.translated += 1
+            self.outside.send(Datagram(
+                self.external_addr, port, dgram.dst_addr, dgram.dst_port,
+                dgram.payload, hops=dgram.hops, ecn_ce=dgram.ecn_ce))
+        else:
+            key = self._reverse.get(dgram.dst_port)
+            if key is None or dgram.dst_addr != self.external_addr:
+                # No binding (e.g. a reply that outlived a rebind, or a
+                # packet for a stale external address): silently dropped,
+                # exactly like a real NAT.
+                self.dropped += 1
+                return
+            self.translated += 1
+            self.inside.send(Datagram(
+                dgram.src_addr, dgram.src_port, key[0], key[1],
+                dgram.payload, hops=dgram.hops, ecn_ce=dgram.ecn_ce))
+
+
 class Router(Node):
     """A store-and-forward router with static routes on destination address.
 

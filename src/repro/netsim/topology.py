@@ -17,7 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from .link import Link
-from .node import Host, Router
+from .node import Host, Nat, Router
 from .sim import Simulator
 
 #: Bandwidth of the access/LAN segments (client-R1/R2, R3-server): fast
@@ -114,3 +114,41 @@ def symmetric_topology(
     (``d2 = d1, bw2 = bw1, l2 = l1``)."""
     params = PathParams.from_paper_units(d_ms, bw_mbps, loss_pct)
     return Figure7Topology(sim, params, params, seed=seed, buffer_bytes=buffer_bytes)
+
+
+@dataclass
+class NatTopology:
+    """``client --(access)-- NAT --(wan bottleneck)-- server``."""
+
+    client: Host
+    nat: Nat
+    server: Host
+    access: Link
+    wan: Link
+
+
+def nat_topology(
+    sim: Simulator,
+    d_ms: float = 10.0,
+    bw_mbps: float = 10.0,
+    loss_pct: float = 0.0,
+    seed: int = 0,
+    buffer_bytes: int = 64 * 1024,
+) -> NatTopology:
+    """A single-path topology with an address-translating hop: the client
+    sits behind a :class:`~repro.netsim.node.Nat`, so a scheduled
+    ``rebind()`` flaps the connection's externally visible source address
+    mid-transfer (the RFC 9000 §9 migration scenario)."""
+    params = PathParams.from_paper_units(d_ms, bw_mbps, loss_pct)
+    client = Host(sim, "client")
+    server = Host(sim, "server")
+    nat = Nat(sim, "nat")
+    access = Link(sim, LAN_DELAY, LAN_BANDWIDTH, buffer_bytes=buffer_bytes)
+    wan = Link(sim, params.delay, params.bandwidth, params.loss,
+               seed=seed * 10 + 1, buffer_bytes=buffer_bytes)
+    client.attach(access, "client.0")
+    nat.attach_inside(access, far_side=True)
+    nat.attach_outside(wan)
+    server.attach(wan, "server.0", far_side=True)
+    return NatTopology(client=client, nat=nat, server=server,
+                       access=access, wan=wan)

@@ -26,6 +26,7 @@ from repro.core.api import (
     FLD_IS_CLIENT,
     FLD_NB_PATHS,
     FLD_PATH_ACTIVE,
+    FLD_PATH_VALIDATED,
     FLD_SRTT_US,
     H_PLUGIN_BASE,
 )
@@ -128,7 +129,9 @@ def _host_helpers(runtime) -> dict:
             index = conn.protoops.run(
                 conn, "create_path", None, address, conn.paths[0].peer_addr
             )
-            conn.paths[index].validated = True
+            # §8.2: a new path must prove two-way reachability before the
+            # scheduler may place data on it.
+            conn.start_path_validation(index)
             conn.reserve_frames([
                 ReservedFrame(
                     frame=AddAddressFrame(address=address, address_id=i + 1),
@@ -153,7 +156,7 @@ def _host_helpers(runtime) -> dict:
         index = conn.protoops.run(
             conn, "create_path", None, conn.paths[0].local_addr, frame.address
         )
-        conn.paths[index].validated = True
+        conn.start_path_validation(index)
         return index
 
     def h_parse_ack(vm, buf_handle, *_):
@@ -211,7 +214,7 @@ def _host_helpers(runtime) -> dict:
         if not conn.handshake_complete:
             return 0
         index = conn.protoops.run(conn, "create_path", None, local, peer)
-        conn.paths[index].validated = True
+        conn.start_path_validation(index)
         return index
 
     def h_requeue(vm, frame_handle, *_):
@@ -250,9 +253,10 @@ def select_path_rr():
     while i < n:
         cand = (last + 1 + i) % n
         if get({FLD_PATH_ACTIVE}, cand) == 1:
-            if get({FLD_CWND}, cand) > get({FLD_BYTES_IN_FLIGHT}, cand):
-                mem64[st + {OFF_LAST_PATH}] = cand
-                return cand
+            if get({FLD_PATH_VALIDATED}, cand) == 1:
+                if get({FLD_CWND}, cand) > get({FLD_BYTES_IN_FLIGHT}, cand):
+                    mem64[st + {OFF_LAST_PATH}] = cand
+                    return cand
         i += 1
     mem64[st + {OFF_LAST_PATH}] = (last + 1) % n
     return (last + 1) % n
@@ -269,12 +273,13 @@ def select_path_lowrtt():
     i = 0
     while i < n:
         if get({FLD_PATH_ACTIVE}, i) == 1:
-            if get({FLD_CWND}, i) > get({FLD_BYTES_IN_FLIGHT}, i):
-                rtt = get({FLD_SRTT_US}, i)
-                if found == 0 or rtt < best_rtt:
-                    best = i
-                    best_rtt = rtt
-                    found = 1
+            if get({FLD_PATH_VALIDATED}, i) == 1:
+                if get({FLD_CWND}, i) > get({FLD_BYTES_IN_FLIGHT}, i):
+                    rtt = get({FLD_SRTT_US}, i)
+                    if found == 0 or rtt < best_rtt:
+                        best = i
+                        best_rtt = rtt
+                        found = 1
         i += 1
     return best
 """

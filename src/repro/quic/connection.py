@@ -49,6 +49,7 @@ from .packet import (
     seal_packet,
 )
 from .recovery import PacketNumberSpace, RttEstimator, SentPacket
+from .reset import is_stateless_reset, stateless_reset_token
 from .stream import ReceiveStream, SendStream
 from .transport_params import TransportParameters
 from .wire import Buffer
@@ -70,6 +71,10 @@ CID_LENGTH = 8
 INITIAL_PADDING_TARGET = 1200
 HANDSHAKE_CH = 1
 HANDSHAKE_SH = 2
+#: §8.1: an unvalidated path may carry at most 3x the bytes received on it.
+AMP_FACTOR = 3
+#: PATH_CHALLENGE (re)transmissions before a path is declared FAILED.
+MAX_PATH_PROBES = 6
 
 
 class ConnectionState:
@@ -105,14 +110,35 @@ class QuicConfiguration:
     supported_plugins: list = field(default_factory=list)
     #: Plugins this endpoint wants the peer to run (names).
     plugins_to_inject: list = field(default_factory=list)
+    #: Static key deriving per-CID stateless reset tokens (§10.3); None
+    #: disables stateless reset generation and advertisement.
+    stateless_reset_key: Optional[bytes] = None
+
+
+class PathState:
+    """Path validation states (RFC 9000 §8.2).
+
+    A path starts ``UNVALIDATED``; sending a PATH_CHALLENGE moves it to
+    ``PROBING``; the matching PATH_RESPONSE moves it to ``VALIDATED``.
+    ``MAX_PATH_PROBES`` unanswered probes (PTO backoff) end in
+    ``FAILED``; host code retires a path with ``ABANDONED``."""
+
+    UNVALIDATED = "unvalidated"
+    PROBING = "probing"
+    VALIDATED = "validated"
+    FAILED = "failed"
+    ABANDONED = "abandoned"
 
 
 class Path:
     """One network path: addresses, its own 1-RTT packet-number space,
-    RTT estimator and congestion controller.
+    RTT estimator, congestion controller and validation state.
 
     Single-path connections use path 0 only; the multipath plugin creates
-    additional paths (§4.3)."""
+    additional paths (§4.3).  Path 0 starts VALIDATED for a client — the
+    handshake itself validates the server address (§8.1) — while every
+    other path must earn VALIDATED through a PATH_CHALLENGE/PATH_RESPONSE
+    exchange."""
 
     def __init__(self, index: int, initial_window: int):
         self.index = index
@@ -123,7 +149,37 @@ class Path:
         self.cc = NewRenoController(initial_window)
         self.active = index == 0
         self.challenge_data: Optional[bytes] = None
-        self.validated = index == 0
+        self.state = PathState.VALIDATED if index == 0 else PathState.UNVALIDATED
+        #: PATH_CHALLENGE/PATH_RESPONSE frames that must leave on *this*
+        #: path (§8.2.2), unlike ordinary (path-agnostic) control frames.
+        self.probe_frames: list = []
+        self.probe_count = 0
+        self.probe_deadline: Optional[float] = None
+        #: §8.1 anti-amplification: while True, at most ``AMP_FACTOR``
+        #: times ``amp_received`` bytes may leave on this path.
+        self.amp_limited = False
+        self.amp_received = 0
+        self.amp_sent = 0
+
+    @property
+    def validated(self) -> bool:
+        return self.state == PathState.VALIDATED
+
+    @validated.setter
+    def validated(self, value: bool) -> None:
+        # Back-compat setter (plugin bytecode writes FLD_PATH_VALIDATED
+        # through it); observable state *transitions* should go through
+        # Connection._set_path_state instead.
+        self.state = PathState.VALIDATED if value else PathState.UNVALIDATED
+        if value:
+            self.amp_limited = False
+            self.probe_deadline = None
+
+    def amp_budget(self) -> int:
+        """Bytes still sendable under the 3x anti-amplification limit."""
+        if not self.amp_limited:
+            return 1 << 62
+        return AMP_FACTOR * self.amp_received - self.amp_sent
 
     def __repr__(self) -> str:
         return f"<Path {self.index} {self.local_addr}->{self.peer_addr}>"
@@ -162,6 +218,11 @@ class QuicConnection:
         # Packet-number spaces: Initial is global, 1-RTT is per-path.
         self.initial_space = PacketNumberSpace()
         self.paths: list[Path] = [Path(0, configuration.initial_window)]
+        if not self.is_client:
+            # §8.1: until the handshake completes, the client address is
+            # unvalidated and the server may send at most 3x what it
+            # received on the path.
+            self.paths[0].amp_limited = True
         self.crypto: dict[Epoch, Optional[CryptoPair]] = {
             Epoch.INITIAL: None,
             Epoch.ONE_RTT: None,
@@ -212,6 +273,15 @@ class QuicConnection:
         #: CIDs this connection retired on termination; endpoints unbind
         #: them from their demux tables.
         self.retired_cids: list[bytes] = []
+        # Connection ID rotation (§5.1/§9.5): spare CIDs we issued to the
+        # peer, unused CIDs the peer issued to us, and the stateless reset
+        # tokens (§10.3) we learned for the peer's CIDs.
+        self.issued_cids: list[bytes] = []
+        self.peer_cids_available: list[bytes] = []
+        self._peer_reset_tokens: set[bytes] = set()
+        #: Endpoint callback: a fresh local CID was issued to the peer
+        #: (servers bind it into their demux table).
+        self.on_cid_issued: Optional[Callable[[bytes], None]] = None
         # CONNECTION_CLOSE retransmit rate limit (RFC 9000 §10.2.1): one
         # close packet per 2^k packets received while closing.
         self._close_rexmit_threshold = 1
@@ -246,6 +316,14 @@ class QuicConnection:
             "acks_received": 0,
             "spurious_received": 0,
             "ecn_ce_received": 0,
+            "migrations": 0,
+            "cids_rotated": 0,
+            "path_challenges_sent": 0,
+            "path_responses_sent": 0,
+            "amp_blocked": 0,
+            "off_path_rejected": 0,
+            "stateless_resets_received": 0,
+            "undersized_initials_dropped": 0,
         }
 
         self._register_protocol_operations()
@@ -384,6 +462,12 @@ class QuicConnection:
         params = self.configuration.transport_parameters
         params.supported_plugins = list(self.configuration.supported_plugins)
         params.plugins_to_inject = list(self.configuration.plugins_to_inject)
+        if not self.is_client and self.configuration.stateless_reset_key is not None:
+            # §10.3: only the server advertises a reset token in transport
+            # parameters (the client's handshake CID is transient).
+            params.stateless_reset_token = stateless_reset_token(
+                self.configuration.stateless_reset_key, self.local_cid
+            )
         return params
 
     def _queue_handshake_message(self, msg_type: int) -> None:
@@ -403,6 +487,8 @@ class QuicConnection:
         params = TransportParameters.parse(buf.pull_varint_prefixed_bytes())
         self.peer_transport_parameters = params
         self.max_data_remote = params.initial_max_data
+        if params.stateless_reset_token:
+            self._peer_reset_tokens.add(bytes(params.stateless_reset_token))
         for path in self.paths:
             path.rtt.max_ack_delay = params.max_ack_delay
         if msg_type == HANDSHAKE_CH and not self.is_client:
@@ -426,9 +512,28 @@ class QuicConnection:
         if self.handshake_complete:
             return
         self.handshake_complete = True
+        if not self.is_client:
+            # Completing the handshake validates the client address (§8.1)
+            # and is the moment to offer a spare CID the client can rotate
+            # to when it migrates (§9.5).
+            self.paths[0].amp_limited = False
+            self._issue_new_cid()
         self.protoops.run(self, "connection_established", None)
         if self.on_established is not None:
             self.on_established()
+
+    def _issue_new_cid(self) -> None:
+        cid = bytes(self._rng.randrange(256) for _ in range(CID_LENGTH))
+        token = b""
+        if self.configuration.stateless_reset_key is not None:
+            token = stateless_reset_token(
+                self.configuration.stateless_reset_key, cid)
+        self.issued_cids.append(cid)
+        self._control_frames.append(F.NewConnectionIdFrame(
+            sequence=len(self.issued_cids), connection_id=cid,
+            reset_token=token))
+        if self.on_cid_issued is not None:
+            self.on_cid_issued(cid)
 
     # ------------------------------------------------------------------
     # Public application API.
@@ -652,7 +757,7 @@ class QuicConnection:
             F.STREAM_DATA_BLOCKED: lambda conn, frame, ctx: None,
             F.RESET_STREAM: self._process_reset_stream_frame,
             F.STOP_SENDING: lambda conn, frame, ctx: None,
-            F.NEW_CONNECTION_ID: lambda conn, frame, ctx: None,
+            F.NEW_CONNECTION_ID: self._process_new_connection_id,
             F.PATH_CHALLENGE: self._process_path_challenge,
             F.PATH_RESPONSE: self._process_path_response,
             F.CONNECTION_CLOSE: self._process_connection_close,
@@ -719,21 +824,161 @@ class QuicConnection:
         stream.final_size = frame.final_size
         self.protoops.run(self, "stream_closed", None, frame.stream_id)
 
+    def _process_new_connection_id(self, conn, frame: F.NewConnectionIdFrame, ctx: dict) -> None:
+        """Stash a peer-issued CID (§5.1.1) for rotation on migration
+        (§9.5), and its stateless reset token (§10.3) for detection."""
+        if frame.connection_id and frame.connection_id not in self.peer_cids_available:
+            self.peer_cids_available.append(bytes(frame.connection_id))
+        if frame.reset_token:
+            self._peer_reset_tokens.add(bytes(frame.reset_token))
+
     def _process_path_challenge(self, conn, frame: F.PathChallengeFrame, ctx: dict) -> None:
-        self.protoops.run(
-            self, "queue_control_frame", None, F.PathResponseFrame(data=frame.data)
-        )
+        # §8.2.2: the response must leave on the path the challenge came
+        # in on, so it rides the per-path probe queue rather than the
+        # path-agnostic control-frame queue.
+        path_index = ctx.get("path_index", 0)
+        self.paths[path_index].probe_frames.append(
+            F.PathResponseFrame(data=frame.data))
+        self.stats["path_responses_sent"] += 1
 
     def _process_path_response(self, conn, frame: F.PathResponseFrame, ctx: dict) -> None:
         for path in self.paths:
             if path.challenge_data == frame.data:
-                path.validated = True
+                path.challenge_data = None
+                path.probe_deadline = None
+                path.probe_count = 0
+                path.amp_limited = False
+                path.active = True
+                self._set_path_state(path, PathState.VALIDATED)
                 self.protoops.run(self, "path_validated", None, path.index)
 
     def _process_connection_close(self, conn, frame: F.ConnectionCloseFrame, ctx: dict) -> None:
         if self.state is ConnectionState.ACTIVE:
             self._finish_close(frame.error_code, frame.reason,
                                next_state=ConnectionState.DRAINING)
+
+    # ------------------------------------------------------------------
+    # Path validation, migration and stateless reset (RFC 9000 §8-§10.3).
+    # ------------------------------------------------------------------
+
+    def _run_extension_event(self, name: str, *args: Any) -> None:
+        """Run a lazily-declared extension event: declared on first
+        emission, like the containment/exchange events, so the paper's
+        72-protoop census stays intact."""
+        if not self.protoops.exists(name):
+            self.protoops.declare(name)
+        self.protoops.run(self, name, None, *args)
+
+    def _record_path_metric(self, name: str, amount: int = 1) -> None:
+        registry = getattr(self, "metrics", None)
+        if registry is not None:
+            registry.counter("quic.path." + name).inc(amount)
+
+    def _set_path_state(self, path: Path, state: str) -> None:
+        if path.state == state:
+            return
+        old = path.state
+        path.state = state
+        self._run_extension_event(
+            "path_validation_state_changed", path.index, old, state)
+        if state == PathState.VALIDATED:
+            self._record_path_metric("validated")
+        elif state == PathState.FAILED:
+            self._record_path_metric("failed")
+
+    def start_path_validation(self, path_index: int) -> None:
+        """Begin (or restart) §8.2 validation of a path: queue a
+        PATH_CHALLENGE carrying a fresh random 8-byte token on the path
+        itself and arm the PTO-based probe retransmission timer."""
+        path = self.paths[path_index]
+        path.challenge_data = bytes(
+            self._rng.randrange(256) for _ in range(8))
+        path.probe_count = 0
+        path.probe_frames.append(
+            F.PathChallengeFrame(data=path.challenge_data))
+        path.probe_deadline = self.now + self._probe_timeout(path)
+        self.stats["path_challenges_sent"] += 1
+        self._record_path_metric("challenges_sent")
+        self._set_path_state(path, PathState.PROBING)
+
+    def _probe_timeout(self, path: Path) -> float:
+        # §8.2.1: probe timers back off like PTO.
+        return path.rtt.pto() * (1 << min(path.probe_count, 6))
+
+    def _on_probe_timeout(self, path: Path) -> None:
+        path.probe_count += 1
+        if path.probe_count >= MAX_PATH_PROBES:
+            # §8.2.4: give up — the path is unusable.
+            path.probe_deadline = None
+            path.challenge_data = None
+            path.probe_frames = [
+                f for f in path.probe_frames if f.type != F.PATH_CHALLENGE
+            ]
+            path.active = False
+            self._set_path_state(path, PathState.FAILED)
+            return
+        path.probe_frames.append(
+            F.PathChallengeFrame(data=path.challenge_data))
+        path.probe_deadline = self.now + self._probe_timeout(path)
+        self.stats["path_challenges_sent"] += 1
+        self._record_path_metric("challenges_sent")
+
+    def on_peer_address_changed(self, path_index: int, new_addr: str,
+                                received_bytes: int = 0) -> None:
+        """Passive migration (§9): an authenticated packet arrived from a
+        new peer address (NAT rebinding).  The path follows the peer,
+        loses its congestion and RTT state (§9.4), becomes
+        amplification-limited again and must revalidate."""
+        path = self.paths[path_index]
+        old = path.peer_addr or ""
+        path.peer_addr = new_addr
+        path.cc = NewRenoController(self.configuration.initial_window)
+        max_ack_delay = path.rtt.max_ack_delay
+        path.rtt = RttEstimator()
+        path.rtt.max_ack_delay = max_ack_delay
+        path.amp_limited = not self.is_client
+        path.amp_received = received_bytes
+        path.amp_sent = 0
+        if path.state in (PathState.VALIDATED, PathState.FAILED):
+            self._set_path_state(path, PathState.UNVALIDATED)
+        self.stats["migrations"] += 1
+        self._record_path_metric("migrations")
+        self._run_extension_event(
+            "connection_migrated", path_index, old, new_addr)
+        self.start_path_validation(path_index)
+
+    def migrate(self, new_local_addr: str) -> None:
+        """Active client migration (§9.5): move path 0 to a new local
+        address, rotate to an unused peer-issued CID so the old and new
+        paths cannot be linked, and revalidate."""
+        path = self.paths[0]
+        old = path.local_addr or ""
+        path.local_addr = new_local_addr
+        if self.peer_cids_available:
+            self.peer_cid = self.peer_cids_available.pop(0)
+            self.stats["cids_rotated"] += 1
+            self._record_path_metric("cids_rotated")
+        self.stats["migrations"] += 1
+        self._record_path_metric("migrations")
+        self._run_extension_event(
+            "connection_migrated", 0, old, new_local_addr)
+        if path.state == PathState.VALIDATED:
+            self._set_path_state(path, PathState.UNVALIDATED)
+        self.start_path_validation(0)
+
+    def note_off_path_packet(self) -> None:
+        """An unauthenticated datagram from a foreign address was dropped
+        without touching any connection state (§9.3.2)."""
+        self.stats["off_path_rejected"] += 1
+        self._record_path_metric("off_path_rejected")
+
+    def _handle_stateless_reset(self) -> None:
+        """§10.3: the peer lost its state — stop sending immediately."""
+        self.stats["stateless_resets_received"] += 1
+        self._record_path_metric("stateless_resets")
+        self._run_extension_event("stateless_reset")
+        self._finish_close(0, "stateless reset",
+                           next_state=ConnectionState.DRAINING)
 
     # ------------------------------------------------------------------
     # ACK / loss protoops.
@@ -805,6 +1050,20 @@ class QuicConnection:
         def ignore(conn, frame, acked, pkt):
             return None
 
+        def path_challenge_lost(conn, frame, acked, pkt):
+            # Probe retransmission is timer-driven (PTO backoff in
+            # _on_probe_timeout), so a lost challenge is NOT requeued
+            # here: doing both would duplicate probes, and the generic
+            # control-frame queue could not honour the per-path routing
+            # of §8.2.2 anyway.
+            return None
+
+        def path_response_lost(conn, frame, acked, pkt):
+            # §13.3: a PATH_RESPONSE is sent only once.  If it is lost,
+            # the peer's probe-retransmit repeats the PATH_CHALLENGE and
+            # a fresh response answers that copy.
+            return None
+
         return {
             "stream": stream_notify,
             F.CRYPTO: crypto_notify,
@@ -816,8 +1075,8 @@ class QuicConnection:
             F.PING: ignore,
             F.ACK: ignore,
             F.PADDING: ignore,
-            F.PATH_CHALLENGE: requeue_on_loss,
-            F.PATH_RESPONSE: ignore,
+            F.PATH_CHALLENGE: path_challenge_lost,
+            F.PATH_RESPONSE: path_response_lost,
             F.CONNECTION_CLOSE: ignore,
             F.HANDSHAKE_DONE: requeue_on_loss,
             F.NEW_CONNECTION_ID: requeue_on_loss,
@@ -851,8 +1110,10 @@ class QuicConnection:
             return self.drain_deadline
         alarm = self.protoops.run(self, "set_loss_alarm", None)
         idle = self.protoops.run(self, "set_idle_timer", None)
+        probes = (p.probe_deadline for p in self.paths)
         hints = (hint() for hint in self.wakeup_hints)
-        candidates = [t for t in (alarm, idle, *hints) if t is not None]
+        candidates = [t for t in (alarm, idle, *probes, *hints)
+                      if t is not None]
         return min(candidates) if candidates else None
 
     def handle_timer(self, now: float) -> None:
@@ -870,6 +1131,10 @@ class QuicConnection:
             self._finish_close(0, "idle timeout",
                                next_state=ConnectionState.CLOSED)
             return
+        for path in self.paths:
+            if (path.probe_deadline is not None
+                    and now >= path.probe_deadline - 1e-12):
+                self._on_probe_timeout(path)
         alarm = self.protoops.run(self, "set_loss_alarm", None)
         if alarm is not None and now >= alarm - 1e-12:
             self.protoops.run(self, "on_loss_alarm", None)
@@ -904,7 +1169,8 @@ class QuicConnection:
     # Receiving datagrams.
     # ------------------------------------------------------------------
 
-    def receive_datagram(self, data: bytes, now: float, path_index: int = 0) -> None:
+    def receive_datagram(self, data: bytes, now: float, path_index: int = 0,
+                         from_peer: bool = True) -> None:
         if self.state is ConnectionState.CLOSING:
             self._receive_while_closing(data, now)
             return
@@ -913,12 +1179,20 @@ class QuicConnection:
         self.now = max(self.now, now)
         self._last_activity = self.now
         self.stats["bytes_received"] += len(data)
+        if from_peer and path_index < len(self.paths):
+            # §8.1: every byte received on a path earns 3x send credit,
+            # decryptable or not (the credit is per address, not per
+            # authenticated packet).
+            self.paths[path_index].amp_received += len(data)
         try:
             self.protoops.run(self, "process_incoming_packet", None, data, path_index)
         except ProtoopError as exc:
             self.abort_on_plugin_failure(exc)
         except CryptoError:
-            pass  # undecryptable packets are dropped silently
+            # Undecryptable datagrams are dropped silently — unless they
+            # end in a stateless reset token we were told about (§10.3).
+            if is_stateless_reset(data, self._peer_reset_tokens):
+                self._handle_stateless_reset()
         except TransportError as exc:
             self.close(int(exc.code), exc.reason)
 
@@ -990,6 +1264,13 @@ class QuicConnection:
         epoch = header.epoch
         if epoch is Epoch.HANDSHAKE:
             raise CryptoError("handshake epoch unused in this model")
+        if (epoch is Epoch.INITIAL and not self.is_client
+                and len(data) < INITIAL_PADDING_TARGET):
+            # §14.1: clients must expand Initial datagrams to 1200 bytes.
+            # Dropping smaller ones before deriving keys denies spoofed
+            # mini-Initials both amplification and server-side state.
+            self.stats["undersized_initials_dropped"] += 1
+            raise CryptoError("client Initial datagram below 1200 bytes")
         if epoch is Epoch.INITIAL and self.crypto[Epoch.INITIAL] is None:
             # Server side: derive initial keys from the client's DCID.
             self._original_dcid = header.destination_cid
@@ -1095,6 +1376,9 @@ class QuicConnection:
         path.local_addr = local_addr
         path.peer_addr = peer_addr
         path.active = True
+        # A server-created path is amplification-limited until validated
+        # (§8.1); a client opens paths toward an already-validated server.
+        path.amp_limited = not self.is_client
         if self.peer_transport_parameters is not None:
             path.rtt.max_ack_delay = self.peer_transport_parameters.max_ack_delay
         self.paths.append(path)
@@ -1162,6 +1446,13 @@ class QuicConnection:
                 return pkt, 0
         if self.crypto[Epoch.ONE_RTT] is None:
             return None
+        # Path probes (PATH_CHALLENGE/PATH_RESPONSE) must leave on their
+        # specific path (§8.2.2), so they bypass path selection.
+        for path in self.paths:
+            if path.probe_frames:
+                pkt = self._prepare_epoch_packet(Epoch.ONE_RTT, path.index)
+                if pkt is not None:
+                    return pkt, path.index
         path_index = self.protoops.run(self, "select_sending_path", None)
         pkt = self._prepare_epoch_packet(Epoch.ONE_RTT, path_index)
         if pkt is not None:
@@ -1180,6 +1471,16 @@ class QuicConnection:
         path = self.paths[path_index]
         space = self.initial_space if epoch is Epoch.INITIAL else path.space
         budget = self.configuration.max_udp_payload_size - TAG_LENGTH - 32
+        if path.amp_limited:
+            # §8.1: never put more than 3x the received bytes on an
+            # unvalidated path.  Block *before* scheduling so no frame
+            # state is consumed for a packet that cannot leave.
+            allowed = path.amp_budget() - TAG_LENGTH - 32
+            if allowed <= 0:
+                self.stats["amp_blocked"] += 1
+                self._record_path_metric("amp_blocked")
+                return None
+            budget = min(budget, allowed)
         frames, ack_only = self.protoops.run(
             self, "schedule_frames", None, epoch, path_index, budget
         )
@@ -1282,6 +1583,8 @@ class QuicConnection:
         space.on_packet_sent(sent)
         if sent.in_flight:
             path.cc.on_packet_sent(sent.size)
+        if path.amp_limited:
+            path.amp_sent += len(packet)
         self.stats["packets_sent"] += 1
         self.stats["bytes_sent"] += len(packet)
         self._last_activity = self.now

@@ -8,17 +8,21 @@ unknown Initials.
 
 from __future__ import annotations
 
+import hashlib
+import random
 from typing import Callable, Optional
 
 from repro.netsim import Datagram, Host, Simulator
 
 from .connection import (
     CID_LENGTH,
+    INITIAL_PADDING_TARGET,
     ConnectionState,
     QuicConfiguration,
     QuicConnection,
 )
 from .packet import FORM_LONG
+from .reset import build_stateless_reset, stateless_reset_token
 
 
 class _ConnectionDriver:
@@ -86,22 +90,32 @@ class _ConnectionDriver:
             )
         except Exception:
             path_index = 0
+        if path_index >= len(self.conn.paths):
+            path_index = 0
+        path = self.conn.paths[path_index]
+        # Only datagrams from the path's known peer address earn the §8.1
+        # anti-amplification credit; an off-path source must not be able
+        # to buy send budget for an address it merely wrote on a packet.
+        from_peer = path.peer_addr is None or path.peer_addr == dgram.src_addr
         before = self.conn.stats["packets_received"]
         if getattr(dgram, "ecn_ce", False):
             self.conn.stats["ecn_ce_received"] += 1
-        self.conn.receive_datagram(dgram.payload, self.sim.now, path_index)
-        path = self.conn.paths[path_index]
-        if (
-            self.conn.stats["packets_received"] > before
-            and path.peer_addr != dgram.src_addr
-            and self.conn.handshake_complete
-        ):
+        self.conn.receive_datagram(dgram.payload, self.sim.now, path_index,
+                                   from_peer=from_peer)
+        authenticated = self.conn.stats["packets_received"] > before
+        moved = (path.peer_addr != dgram.src_addr
+                 or self.peer_port != dgram.src_port)
+        if authenticated and moved and self.conn.handshake_complete:
             # The packet authenticated under this connection's keys but
             # arrived from a new peer address: a NAT rebinding.  QUIC's
             # connection IDs make the connection survive it (§4.3) — the
-            # path follows the peer.
-            path.peer_addr = dgram.src_addr
+            # path follows the peer, must revalidate the new address (§9)
+            # and is amplification-limited until it does (§8.1).
+            self.conn.on_peer_address_changed(
+                path_index, dgram.src_addr, dgram.size)
             self.peer_port = dgram.src_port
+        elif not authenticated and not from_peer:
+            self.conn.note_off_path_packet()
         self.pump()
 
     def stop(self) -> None:
@@ -143,6 +157,18 @@ class ClientEndpoint:
     def pump(self) -> None:
         self.driver.pump()
 
+    def migrate(self, new_local_addr: str,
+                new_local_port: Optional[int] = None) -> None:
+        """Actively migrate the connection to a new local address (§9.5):
+        bind the new port, rotate to a server-issued CID if one is
+        available, and start validating the new path.  The old binding
+        stays so in-flight replies are not dropped mid-switch."""
+        if new_local_port is not None and new_local_port != self.driver.local_port:
+            self.host.bind(new_local_port, self.driver.receive)
+            self.driver.local_port = new_local_port
+        self.conn.migrate(new_local_addr)
+        self.driver.pump()
+
     def close(self, error_code: int = 0, reason: str = "") -> None:
         """Begin closing: send CONNECTION_CLOSE and enter the drain
         period.  The port unbinds once the connection terminates."""
@@ -175,6 +201,7 @@ class ServerEndpoint:
         configuration_factory: Optional[Callable[[], QuicConfiguration]] = None,
         on_connection: Optional[Callable[[QuicConnection], None]] = None,
         metrics=None,
+        reset_key: Optional[bytes] = None,
     ):
         self.sim = sim
         self.host = host
@@ -185,6 +212,15 @@ class ServerEndpoint:
         )
         self.on_connection = on_connection
         self.metrics = metrics
+        if reset_key is None:
+            # Derived from the listening address so a "rebooted" endpoint
+            # on the same address/port regenerates the very tokens it
+            # advertised before losing state — what §10.3 relies on.
+            reset_key = hashlib.sha256(
+                f"reset-key:{local_addr}:{port}".encode()).digest()
+        self.reset_key = reset_key
+        self._reset_rng = random.Random(
+            int.from_bytes(hashlib.sha256(reset_key).digest()[:8], "big"))
         self.connections: list[QuicConnection] = []
         self._by_cid: dict[bytes, _ConnectionDriver] = {}
         self.stats = {
@@ -192,6 +228,8 @@ class ServerEndpoint:
             "evicted": 0,
             "cids_retired": 0,
             "peak_connections": 0,
+            "stateless_resets_sent": 0,
+            "undersized_initials": 0,
         }
         host.bind(port, self._receive)
 
@@ -202,13 +240,37 @@ class ServerEndpoint:
         driver = self._by_cid.get(dcid)
         if driver is None:
             if not dgram.payload or not dgram.payload[0] & FORM_LONG:
-                return  # short-header packet for an unknown connection
+                # Short-header packet for a connection we hold no state
+                # for (e.g. we rebooted): answer with a stateless reset
+                # so the peer stops retrying into the void (§10.3).
+                self._send_stateless_reset(dgram, dcid)
+                return
+            if len(dgram.payload) < INITIAL_PADDING_TARGET:
+                # §14.1: drop undersized client Initials before spending
+                # connection state on them — a spoofed mini-Initial gets
+                # neither amplification nor a half-open connection.
+                self.stats["undersized_initials"] += 1
+                return
             driver = self._accept(dgram, dcid)
         driver.receive(dgram)
+
+    def _send_stateless_reset(self, dgram: Datagram, dcid: bytes) -> None:
+        reset = build_stateless_reset(
+            stateless_reset_token(self.reset_key, dcid),
+            self._reset_rng, dgram.size)
+        if reset is None:
+            return  # trigger too small to answer without looping (§10.3.3)
+        self.stats["stateless_resets_sent"] += 1
+        if self.metrics is not None:
+            self.metrics.counter("quic.server.stateless_resets_sent").inc()
+        self.host.sendto(reset, dgram.dst_addr, self.port,
+                         dgram.src_addr, dgram.src_port)
 
     def _accept(self, dgram: Datagram, dcid: bytes) -> _ConnectionDriver:
         configuration = self.configuration_factory()
         configuration.is_client = False
+        if configuration.stateless_reset_key is None:
+            configuration.stateless_reset_key = self.reset_key
         conn = QuicConnection(configuration, now=self.sim.now)
         path0 = conn.paths[0]
         path0.local_addr = dgram.dst_addr
@@ -220,6 +282,8 @@ class ServerEndpoint:
         self._by_cid[conn.local_cid] = driver  # our CID in short headers
         driver.bound_cids = [dcid, conn.local_cid]
         driver.on_terminated = self._evict
+        conn.on_cid_issued = (
+            lambda cid, drv=driver: self._bind_extra_cid(drv, cid))
         self.stats["accepted"] += 1
         if len(self.connections) > self.stats["peak_connections"]:
             self.stats["peak_connections"] = len(self.connections)
@@ -230,6 +294,23 @@ class ServerEndpoint:
         if self.on_connection is not None:
             self.on_connection(conn)
         return driver
+
+    def _bind_extra_cid(self, driver: _ConnectionDriver, cid: bytes) -> None:
+        """Register a freshly issued CID (§5.1.1) in the demux table so
+        a client rotating to it on migration still reaches its driver."""
+        self._by_cid[cid] = driver
+        driver.bound_cids.append(cid)
+
+    def shutdown(self) -> None:
+        """Forget every connection and release the port — simulating an
+        endpoint crash/reboot (the §10.3 stateless reset scenario).
+        Nothing is sent to the peers; they discover the loss through the
+        stateless resets of whatever next listens on this address."""
+        for driver in set(self._by_cid.values()):
+            driver.stop()
+        self._by_cid.clear()
+        self.connections.clear()
+        self.host.unbind(self.port)
 
     def _evict(self, driver: _ConnectionDriver) -> None:
         """Unbind a terminated connection from the demux table and drop

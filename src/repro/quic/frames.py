@@ -317,16 +317,21 @@ class StreamDataBlockedFrame(Frame):
 class NewConnectionIdFrame(Frame):
     sequence: int
     connection_id: bytes
+    #: §10.3: the stateless reset token the issuer will use for this CID
+    #: (empty when the issuer does not support stateless reset).
+    reset_token: bytes = b""
     type = NEW_CONNECTION_ID
 
     def serialize(self, buf: Buffer) -> None:
         buf.push_varint(NEW_CONNECTION_ID)
         buf.push_varint(self.sequence)
         buf.push_varint_prefixed_bytes(self.connection_id)
+        buf.push_varint_prefixed_bytes(self.reset_token)
 
     @classmethod
     def parse(cls, buf: Buffer, frame_type: int) -> "NewConnectionIdFrame":
-        return cls(buf.pull_varint(), buf.pull_varint_prefixed_bytes())
+        return cls(buf.pull_varint(), buf.pull_varint_prefixed_bytes(),
+                   buf.pull_varint_prefixed_bytes())
 
 
 @dataclass

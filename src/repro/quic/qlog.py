@@ -4,10 +4,18 @@ The connection tracer grew into the full observability layer at
 :mod:`repro.trace` (schema-versioned events, JSONL streaming, metrics,
 PRE profiling).  This module keeps the historical import path working::
 
-    from repro.quic.qlog import ConnectionTracer   # still fine
+    from repro.quic.qlog import ConnectionTracer   # still works, warns
     from repro.trace import ConnectionTracer       # preferred
 """
 
+import warnings
+
 from repro.trace.tracer import ConnectionTracer, TraceEvent
+
+warnings.warn(
+    "repro.quic.qlog is deprecated; import from repro.trace instead",
+    DeprecationWarning,
+    stacklevel=2,
+)
 
 __all__ = ["ConnectionTracer", "TraceEvent"]

@@ -16,6 +16,7 @@ from .wire import Buffer
 # Parameter IDs (core ones follow RFC 9000 numbering; the PQUIC ones use a
 # private-range id, as an experimental extension would).
 PARAM_IDLE_TIMEOUT = 0x01
+PARAM_STATELESS_RESET_TOKEN = 0x02
 PARAM_MAX_UDP_PAYLOAD_SIZE = 0x03
 PARAM_INITIAL_MAX_DATA = 0x04
 PARAM_INITIAL_MAX_STREAM_DATA = 0x05
@@ -43,6 +44,9 @@ class TransportParameters:
     #: reported ack_delays here when adjusting RTT (RFC 9002 §5.3).
     max_ack_delay: float = 0.025
     original_dcid: Optional[bytes] = None
+    #: §10.3: the stateless reset token the server will use for the CID
+    #: negotiated in the handshake (servers only; RFC 9000 §18.2).
+    stateless_reset_token: Optional[bytes] = None
     supported_plugins: list = field(default_factory=list)
     plugins_to_inject: list = field(default_factory=list)
 
@@ -68,6 +72,8 @@ class TransportParameters:
         put_varint(PARAM_MAX_ACK_DELAY, int(self.max_ack_delay * 1000))
         if self.original_dcid is not None:
             put(PARAM_ORIGINAL_DCID, self.original_dcid)
+        if self.stateless_reset_token is not None:
+            put(PARAM_STATELESS_RESET_TOKEN, self.stateless_reset_token)
         for pid, names in (
             (PARAM_SUPPORTED_PLUGINS, self.supported_plugins),
             (PARAM_PLUGINS_TO_INJECT, self.plugins_to_inject),
@@ -109,6 +115,8 @@ class TransportParameters:
                 params.max_ack_delay = inner.pull_varint() / 1000.0
             elif pid == PARAM_ORIGINAL_DCID:
                 params.original_dcid = payload
+            elif pid == PARAM_STATELESS_RESET_TOKEN:
+                params.stateless_reset_token = payload
             elif pid == PARAM_SUPPORTED_PLUGINS:
                 params.supported_plugins = _decode_plugin_list(payload)
             elif pid == PARAM_PLUGINS_TO_INJECT:

@@ -261,6 +261,15 @@ class ConnectionMetrics:
         r.histogram(p + "rtt_ms", DEFAULT_MS_BUCKETS)
         r.histogram(p + "packet_size_bytes", DEFAULT_BYTES_BUCKETS)
         r.gauge(p + "cwnd_peak")
+        # Path-validation / migration counters are recorded host-side by
+        # QuicConnection._record_path_metric (they fire from timer and
+        # receive paths, not from anchored protoops); the names are never
+        # prefixed so per-path series aggregate identically across
+        # vantage points.  Pre-created for stable snapshots.
+        for name in ("challenges_sent", "validated", "failed", "migrations",
+                     "cids_rotated", "amp_blocked", "off_path_rejected",
+                     "stateless_resets"):
+            r.counter("quic.path." + name)
         table = conn.protoops
         for name, fn in hooks:
             table.attach(name, Anchor.POST, fn)

@@ -19,7 +19,7 @@ from typing import Optional
 
 #: Bump the minor on additive changes (new events, new optional fields),
 #: the major on anything that breaks an existing consumer.
-TRACE_SCHEMA_VERSION = "repro-trace/1.0"
+TRACE_SCHEMA_VERSION = "repro-trace/1.1"
 
 #: Record types appearing in a JSONL stream.
 RECORD_HEADER = "header"
@@ -124,6 +124,17 @@ EVENT_CATALOG: dict = {
               "The lifecycle state machine moved "
               "(closing/draining/closed, RFC 9000 §10).",
               state="str"),
+        _spec("path_validation_state_changed", "connectivity",
+              "A path moved through the §8.2 validation machine "
+              "(unvalidated/probing/validated/failed/abandoned).",
+              path="int", old="str", new="str"),
+        _spec("connection_migrated", "connectivity",
+              "The connection moved to a new address (NAT rebinding or "
+              "active migration, RFC 9000 §9).",
+              path="int", old="str", new="str"),
+        _spec("stateless_reset", "connectivity",
+              "A stateless reset token matched an undecryptable "
+              "datagram; the peer lost its state (RFC 9000 §10.3)."),
         # --- plugin lifecycle --------------------------------------------
         _spec("plugin_injected", "plugin",
               "A plugin attached all its pluglets.",

@@ -137,6 +137,11 @@ def _d_analysis(args, result):
             "warnings": warnings, "proven": proven}
 
 
+def _d_path_transition(args, result):
+    path, old, new = args
+    return {"path": path, "old": old, "new": new}
+
+
 HOOKS = {
     "packet_sent_event": ("transport", "packet_sent", _d_packet_sent),
     "packet_received_event": ("transport", "packet_received",
@@ -163,6 +168,12 @@ HOOKS = {
     "plugin_exchange_completed": ("plugin", "plugin_exchange_completed",
                                   _d_exchange_completed),
     "plugin_analyzed": ("plugin", "analysis", _d_analysis),
+    "path_validation_state_changed": ("connectivity",
+                                      "path_validation_state_changed",
+                                      _d_path_transition),
+    "connection_migrated": ("connectivity", "connection_migrated",
+                            _d_path_transition),
+    "stateless_reset": ("connectivity", "stateless_reset", _d_empty),
 }
 
 

@@ -20,7 +20,7 @@ from repro.core.api import ApiViolation
 from repro.netsim import Simulator, symmetric_topology
 from repro.quic import ClientEndpoint, QuicConfiguration, ServerEndpoint
 from repro.quic.connection import QuicConnection
-from repro.quic.qlog import ConnectionTracer
+from repro.trace import ConnectionTracer
 from repro.vm import ExecutionError, FuelExhausted, MemoryViolation, assemble
 
 LOOP = "top:\nja top\nexit"  # statically verifiable, never terminates

@@ -54,6 +54,9 @@ class TestStateMachine:
         topo = symmetric_topology(sim, d_ms=5, bw_mbps=10)
         ServerEndpoint(sim, topo.server, "server.0", 443)
         client = handshake(sim, topo)
+        # Let the post-handshake exchange settle (the server's
+        # NEW_CONNECTION_ID draws one final ACK) before going idle.
+        sim.run(until=sim.now + 1.0)
         sent = client.conn.stats["packets_sent"]
         # No drain period for an idle timeout: nothing to say, nobody
         # listening — straight to CLOSED without sending a close frame.
@@ -126,15 +129,17 @@ class TestServerEviction:
         server = ServerEndpoint(sim, topo.server, "server.0", 443,
                                 metrics=metrics)
         client = handshake(sim, topo)
-        assert len(server._by_cid) == 2
+        # Client's initial DCID, the server's own CID, and the spare CID
+        # issued for migration (§9.5) at handshake completion.
+        assert len(server._by_cid) == 3
         client.close()
         assert sim.run_until(lambda: server.stats["evicted"] == 1, timeout=30)
         assert server._by_cid == {}
         assert server.connections == []
-        assert server.stats["cids_retired"] == 2
+        assert server.stats["cids_retired"] == 3
         assert metrics.counter("quic.server.connections_accepted").value == 1
         assert metrics.counter("quic.server.connections_evicted").value == 1
-        assert metrics.counter("quic.server.cids_retired").value == 2
+        assert metrics.counter("quic.server.cids_retired").value == 3
 
     def test_duplicate_initial_does_not_spawn_second_connection(self):
         sim = Simulator()
@@ -195,7 +200,9 @@ class TestChurn:
             assert sim.run_until(
                 lambda: client.conn.state is ConnectionState.CLOSED,
                 timeout=30)
-            assert len(server._by_cid) <= 2
+            # <= one still-draining connection, three CIDs each (initial
+            # DCID, the server CID, and the spare issued for migration).
+            assert len(server._by_cid) <= 3
             assert len(server.connections) <= 1
         sim.run(until=sim.now + 2.0)
         assert server.stats["accepted"] == 200

@@ -3,12 +3,13 @@
 
 Runs the Table-3 / §4.6-style workloads across every layer the fast-path
 engine touches — plus the many-connection ``quic-scale`` lifecycle
-workload — and writes ``BENCH_pr5.json`` at the repository root, the
-trajectory file that future PRs compare themselves against.
+workload and the NAT-rebinding ``migration`` workload — and writes
+``BENCH_pr6.json`` at the repository root, the trajectory file that
+future PRs compare themselves against.
 
 Usage (from the repository root)::
 
-    python tools/bench.py            # full run, writes BENCH_pr5.json
+    python tools/bench.py            # full run, writes BENCH_pr6.json
     python tools/bench.py --quick    # smaller iteration counts (CI smoke)
     python tools/bench.py --quick --check
                                      # additionally fail on >2x regression
@@ -449,8 +450,9 @@ def bench_quic_scale(quick: bool) -> dict:
                 lambda: client.conn.state is ConnectionState.CLOSED,
                 timeout=60)
             # Bounded server state: everything from terminated
-            # connections is evicted (<= one still-draining connection).
-            assert len(server2._by_cid) <= 2, len(server2._by_cid)
+            # connections is evicted (<= one still-draining connection,
+            # which holds three CIDs: initial DCID, server CID, spare).
+            assert len(server2._by_cid) <= 3, len(server2._by_cid)
             assert len(server2.connections) <= 1
         # Let the last drain finish, then the event queue must be empty
         # of connection timers (only the nothing-pending steady state).
@@ -466,6 +468,70 @@ def bench_quic_scale(quick: bool) -> dict:
     }
 
 
+def bench_migration(quick: bool) -> dict:
+    """Transfer through a NAT that rebinds mid-flight: the RFC 9000 §9
+    migration scenario.  Measures end-to-end goodput including the
+    validation stall and how fast the server re-validates the new path
+    (time from the rebind to the server's PATH_RESPONSE arriving)."""
+    from repro.netsim import FaultInjector, Simulator, nat_topology
+    from repro.quic import ClientEndpoint, ServerEndpoint
+    from repro.quic.connection import PathState
+
+    size = 80_000 if quick else 300_000
+    sim = Simulator()
+    topo = nat_topology(sim, d_ms=10, bw_mbps=20, seed=1)
+    received = bytearray()
+    done = [False]
+    server_conn = []
+
+    def on_conn(conn):
+        server_conn.append(conn)
+        conn.on_stream_data = lambda sid, d, fin: (
+            received.extend(d), done.__setitem__(0, fin))
+
+    server = ServerEndpoint(sim, topo.server, "server.0", 443,
+                            on_connection=on_conn)
+    client = ClientEndpoint(sim, topo.client, "client.0", 5000,
+                            "server.0", 443)
+    injector = FaultInjector(sim)
+    rebind_at = [None]
+    validated_at = [None]
+
+    def watch_validation():
+        conn = server_conn[0] if server_conn else None
+        if (validated_at[0] is None and conn is not None
+                and sim.now > rebind_at[0]
+                and conn.stats["migrations"] > 0
+                and conn.paths[0].state == PathState.VALIDATED):
+            validated_at[0] = sim.now
+        if not done[0]:
+            sim.schedule(0.005, watch_validation)
+
+    def transfer():
+        client.connect()
+        assert sim.run_until(lambda: client.conn.is_established, timeout=10)
+        # Rebind relative to establishment, so the fault always lands
+        # mid-transfer regardless of handshake duration or payload size.
+        rebind_at[0] = sim.now + 0.02
+        injector.schedule_nat_rebind(topo.nat, at=rebind_at[0])
+        sid = client.conn.create_stream()
+        client.conn.send_stream_data(sid, b"m" * size, fin=True)
+        client.pump()
+        sim.schedule(0.0, watch_validation)
+        assert sim.run_until(lambda: done[0], timeout=600)
+
+    t, _ = _time(transfer)
+    assert len(received) == size
+    sconn = server_conn[0]
+    assert sconn.stats["migrations"] >= 1, "NAT rebind never migrated"
+    assert validated_at[0] is not None, "new path never validated"
+    revalidation_s = validated_at[0] - rebind_at[0]
+    return {
+        "migration_transfer_bytes_per_sec": (size / t, "B/s"),
+        "migration_revalidations_per_sec": (1.0 / revalidation_s, "ops/s"),
+    }
+
+
 WORKLOADS = [
     ("pre-kernel", bench_pre_kernel),
     ("analysis", bench_analysis),
@@ -476,6 +542,7 @@ WORKLOADS = [
     ("simulator", bench_simulator),
     ("e2e-transfer", bench_transfer),
     ("quic-scale", bench_quic_scale),
+    ("migration", bench_migration),
 ]
 
 
@@ -524,9 +591,9 @@ def main(argv=None) -> int:
     parser.add_argument("--check", action="store_true",
                         help="fail on >2x regression vs the baseline")
     parser.add_argument("--output", type=pathlib.Path,
-                        default=ROOT / "BENCH_pr5.json")
+                        default=ROOT / "BENCH_pr6.json")
     parser.add_argument("--baseline", type=pathlib.Path,
-                        default=ROOT / "BENCH_pr5.json",
+                        default=ROOT / "BENCH_pr6.json",
                         help="baseline file compared by --check")
     args = parser.parse_args(argv)
 
@@ -571,7 +638,7 @@ def main(argv=None) -> int:
 
     report = {
         "schema": "pquic-bench-v1",
-        "pr": "pr5",
+        "pr": "pr6",
         "quick": args.quick,
         "python": sys.version.split()[0],
         "metrics": metrics,
