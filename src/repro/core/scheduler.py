@@ -15,6 +15,7 @@ from typing import Optional
 
 from repro.quic import frames as F
 from repro.quic.packet import Epoch
+from repro.quic.wire import Buffer
 
 #: Guaranteed fraction of each packet's budget for core frames while
 #: application data is pending ("at least x% of the available congestion
@@ -25,6 +26,17 @@ DRR_QUANTUM = 512
 #: Bytes of frame header slack assumed when sizing stream chunks.
 STREAM_FRAME_OVERHEAD = 12
 MIN_PACKET_USEFUL = 64
+
+#: Scratch buffer for sizing: the scheduler only needs each candidate
+#: frame's encoded *length*, so it serializes into one reused bytearray
+#: instead of allocating a fresh ``bytes`` per query (``to_bytes``).
+_size_buf = Buffer(bytearray())
+
+
+def _frame_size(frame: F.Frame) -> int:
+    _size_buf.clear()
+    frame.serialize(_size_buf)
+    return len(_size_buf)
 
 
 class DrrState:
@@ -68,10 +80,10 @@ def schedule_packet_frames(conn, epoch: Epoch, path_index: int, budget: int):
     if space.ack_needed:
         ack = space.ack_frame(conn.now)
         if ack is not None:
-            data = ack.to_bytes()
-            if used + len(data) <= budget:
+            size = _frame_size(ack)
+            if used + size <= budget:
                 frames.append(ack)
-                used += len(data)
+                used += size
                 space.ack_needed = False
                 conn.protoops.run(conn, "ack_frame_built", None, epoch, path_index)
 
@@ -85,7 +97,7 @@ def schedule_packet_frames(conn, epoch: Epoch, path_index: int, budget: int):
             offset, data, _fin = chunk
             frame = F.CryptoFrame(offset=offset, data=data)
             frames.append(frame)
-            used += len(frame.to_bytes())
+            used += _frame_size(frame)
             ack_only = False
         return frames, ack_only
 
@@ -93,11 +105,11 @@ def schedule_packet_frames(conn, epoch: Epoch, path_index: int, budget: int):
     # this very path (RFC 9000 §8.2.2) and, like ACKs, exempt from the
     # congestion window (§8.2.4 allows probing outside the send window).
     while path.probe_frames:
-        data = path.probe_frames[0].to_bytes()
-        if used + len(data) > budget:
+        size = _frame_size(path.probe_frames[0])
+        if used + size > budget:
             break
         frames.append(path.probe_frames.pop(0))
-        used += len(data)
+        used += size
         ack_only = False
 
     # Non-congestion-controlled plugin frames (e.g. MP_ACK) are exempt
@@ -105,12 +117,12 @@ def schedule_packet_frames(conn, epoch: Epoch, path_index: int, budget: int):
     for reserved in list(conn.reserved_frames):
         if reserved.congestion_controlled:
             continue
-        data = reserved.frame.to_bytes()
-        if used + len(data) > budget:
+        size = _frame_size(reserved.frame)
+        if used + size > budget:
             continue
         conn.reserved_frames.remove(reserved)
         frames.append(reserved.frame)
-        used += len(data)
+        used += size
 
     # 1-RTT: apply the congestion window to everything below.
     allowance = min(budget - used, path.cc.available_window)
@@ -134,13 +146,13 @@ def schedule_packet_frames(conn, epoch: Epoch, path_index: int, budget: int):
         frame = conn.pop_control_frame()
         if frame is None:
             break
-        data = frame.to_bytes()
-        if len(data) > core_budget:
+        size = _frame_size(frame)
+        if size > core_budget:
             conn._control_frames.insert(0, frame)
             break
         frames.append(frame)
-        used += len(data)
-        core_budget -= len(data)
+        used += size
+        core_budget -= size
         ack_only = False
 
     # 4. Plugin frames by deficit round robin.
@@ -182,7 +194,7 @@ def schedule_packet_frames(conn, epoch: Epoch, path_index: int, budget: int):
             if not data and not fin:
                 break
         frame = F.StreamFrame(stream_id=stream_id, offset=offset, data=data, fin=fin)
-        encoded = len(frame.to_bytes())
+        encoded = _frame_size(frame)
         frames.append(frame)
         used += encoded
         core_budget -= encoded
@@ -215,7 +227,7 @@ def _drr_fill(conn, budget: int):
             state.deficits[plugin] += DRR_QUANTUM
             while queue and used < budget:
                 reserved = queue[0]
-                size = len(reserved.frame.to_bytes())
+                size = _frame_size(reserved.frame)
                 if size > state.deficits[plugin] or used + size > budget:
                     break
                 queue.pop(0)

@@ -2,7 +2,7 @@
 
 from .faults import FaultInjector, FaultStats
 from .link import IPV4_UDP_OVERHEAD, Link, Pipe, SeededLossGen
-from .node import Datagram, Host, Interface, Nat, Node, Router
+from .node import Datagram, DatagramBurst, Host, Interface, Nat, Node, Router
 from .sim import Event, Simulator
 from .tcp import TcpBulkTransfer, TcpReceiver, TcpSender
 from .topology import (
@@ -15,6 +15,7 @@ from .topology import (
 
 __all__ = [
     "Datagram",
+    "DatagramBurst",
     "Event",
     "FaultInjector",
     "FaultStats",

@@ -173,6 +173,9 @@ class FaultInjector:
     # --- the fault pipeline -----------------------------------------------
 
     def _process(self, inner: Callable, packet) -> None:
+        if getattr(packet, "segments", None) is not None:
+            self._process_burst(inner, packet)
+            return
         # Draw every RNG on every packet, even at rate 0, to keep each
         # stream aligned across configurations.
         corrupt = self._corrupt_rng.random() < self.corrupt_rate
@@ -195,6 +198,37 @@ class FaultInjector:
                               inner, packet)
             return
         self._deliver_counted(inner, packet)
+
+    def _process_burst(self, inner: Callable, burst) -> None:
+        """Unbundle a GSO burst through the fault pipeline: every segment
+        gets its own draws (the identical RNG sequence an unbatched run
+        would see), faulted segments splinter off into their own delivery
+        events, and the clean survivors continue as one burst."""
+        survivors = []
+        for packet in burst.segments:
+            corrupt = self._corrupt_rng.random() < self.corrupt_rate
+            duplicate = self._dup_rng.random() < self.duplicate_rate
+            reorder = self._reorder_rng.random() < self.reorder_rate
+            if self.down:
+                self.stats.dropped_down += 1
+                continue
+            if corrupt:
+                packet = self._corrupt(packet)
+                self.stats.corrupted += 1
+            if duplicate:
+                self.stats.duplicated += 1
+                self.sim.schedule(0.0, self._deliver_counted, inner, packet)
+            if reorder:
+                self.stats.reordered += 1
+                self.sim.schedule(self.reorder_delay, self._deliver_counted,
+                                  inner, packet)
+                continue
+            survivors.append(packet)
+        if not survivors:
+            return
+        burst.segments = survivors
+        self.stats.delivered += len(survivors)
+        inner(burst)
 
     def _deliver_counted(self, inner: Callable, packet) -> None:
         self.stats.delivered += 1

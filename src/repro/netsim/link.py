@@ -141,6 +141,46 @@ class Pipe:
             self._transmit_next()
         return True
 
+    def send_burst(self, burst) -> int:
+        """GSO-style enqueue: the burst occupies ONE queue slot and ONE
+        delivery event, but loss draws, buffer admission and ECN marking
+        happen per segment, in order — the identical decision sequence to
+        sending each segment alone (the unbatched sender also enqueues
+        its datagrams back to back with no simulated time in between).
+        Serialization time equals the sum of the segments'; the burst is
+        delivered tail-aligned (when its last byte would have arrived),
+        with one jitter draw for the train.  Returns the number of
+        admitted segments (0 = everything dropped at ingress)."""
+        if self._deliver is None:
+            raise RuntimeError("pipe is not connected")
+        admitted = []
+        burst_wire = 0
+        for dgram in burst.segments:
+            wire_size = dgram.size + self.overhead
+            if self.loss is not None and self.loss.should_drop():
+                self.stats.dropped_loss += 1
+                continue
+            if self._queued_bytes + wire_size > self.buffer_bytes:
+                self.stats.dropped_buffer += 1
+                continue
+            if (
+                self.ecn_threshold is not None
+                and self._queued_bytes > self.ecn_threshold
+            ):
+                dgram.ecn_ce = True
+                self.ecn_marked += 1
+            admitted.append(dgram)
+            self._queued_bytes += wire_size
+            burst_wire += wire_size
+        if not admitted:
+            return 0
+        burst.segments = admitted
+        self.sim.note_coalesced(len(admitted) - 1)
+        self._queue.append((burst, burst_wire))
+        if not self._busy:
+            self._transmit_next()
+        return len(admitted)
+
     def _transmit_next(self) -> None:
         if not self._queue:
             self._busy = False
@@ -149,7 +189,8 @@ class Pipe:
         packet, wire_size = self._queue.pop(0)
         self._queued_bytes -= wire_size
         tx_time = wire_size * 8.0 / self.bandwidth
-        self.stats.tx_packets += 1
+        segments = getattr(packet, "segments", None)
+        self.stats.tx_packets += 1 if segments is None else len(segments)
         self.stats.tx_bytes += wire_size
         extra = self._jitter_rng.uniform(0, self.jitter) if self._jitter_rng else 0.0
         self.sim.schedule(tx_time + self.delay + extra, self._deliver, packet)

@@ -42,6 +42,26 @@ class Datagram:
         )
 
 
+@dataclass
+class DatagramBurst:
+    """A GSO/GRO-style train of datagrams traveling as ONE simulator event.
+
+    Batched senders emit a whole pump's worth of datagrams for a path as
+    a single burst; every hop then pays one route lookup and one event
+    per *burst* instead of per datagram.  Loss, buffer admission and link
+    statistics remain per segment (see ``Pipe.send_burst``), so drop
+    patterns match unbatched runs."""
+
+    segments: list
+
+    @property
+    def size(self) -> int:
+        return sum(d.size for d in self.segments)
+
+    def __repr__(self) -> str:
+        return f"<DatagramBurst {len(self.segments)} segs {self.size}B>"
+
+
 class Interface:
     """Attachment point of a node to one direction-pair of pipes."""
 
@@ -54,8 +74,14 @@ class Interface:
     def send(self, dgram: Datagram) -> bool:
         return self.tx.send(dgram, dgram.size)
 
-    def _on_receive(self, dgram: Datagram) -> None:
-        self.node.receive(dgram, self)
+    def send_burst(self, burst: DatagramBurst) -> int:
+        return self.tx.send_burst(burst)
+
+    def _on_receive(self, dgram) -> None:
+        if type(dgram) is DatagramBurst:
+            self.node.receive_burst(dgram, self)
+        else:
+            self.node.receive(dgram, self)
 
 
 class Node:
@@ -78,6 +104,11 @@ class Node:
     def receive(self, dgram: Datagram, iface: Interface) -> None:
         raise NotImplementedError
 
+    def receive_burst(self, burst: DatagramBurst, iface: Interface) -> None:
+        """Default: unroll the burst for nodes without a batched path."""
+        for dgram in list(burst.segments):
+            self.receive(dgram, iface)
+
     def interface_for_address(self, address: str) -> Optional[Interface]:
         for iface in self.interfaces:
             if iface.address == address:
@@ -96,17 +127,26 @@ class Host(Node):
     def __init__(self, sim: Simulator, name: str):
         super().__init__(sim, name)
         self._bindings: dict[int, Handler] = {}
+        self._burst_bindings: dict[int, Callable[["DatagramBurst"], None]] = {}
         self.rx_datagrams = 0
         self.tx_datagrams = 0
         self.unrouted = 0
 
-    def bind(self, port: int, handler: Handler) -> None:
+    def bind(self, port: int, handler: Handler,
+             burst_handler: Optional[Callable[["DatagramBurst"], None]] = None,
+             ) -> None:
+        """Bind ``handler`` for per-datagram delivery; a GRO-capable
+        endpoint may also register ``burst_handler`` to drain a whole
+        :class:`DatagramBurst` per wakeup."""
         if port in self._bindings:
             raise ValueError(f"port {port} already bound on {self.name}")
         self._bindings[port] = handler
+        if burst_handler is not None:
+            self._burst_bindings[port] = burst_handler
 
     def unbind(self, port: int) -> None:
         self._bindings.pop(port, None)
+        self._burst_bindings.pop(port, None)
 
     def sendto(
         self,
@@ -123,6 +163,16 @@ class Host(Node):
         self.tx_datagrams += 1
         return iface.send(Datagram(src_addr, src_port, dst_addr, dst_port, payload))
 
+    def send_burst(self, burst: DatagramBurst) -> int:
+        """GSO-style send: the whole train leaves as one link event.
+        All segments must share the source address (one route)."""
+        src_addr = burst.segments[0].src_addr
+        iface = self.interface_for_address(src_addr)
+        if iface is None:
+            raise ValueError(f"{self.name} has no interface {src_addr}")
+        self.tx_datagrams += len(burst.segments)
+        return iface.send_burst(burst)
+
     def receive(self, dgram: Datagram, iface: Interface) -> None:
         handler = self._bindings.get(dgram.dst_port)
         if handler is None:
@@ -130,6 +180,28 @@ class Host(Node):
             return
         self.rx_datagrams += 1
         handler(dgram)
+
+    def receive_burst(self, burst: DatagramBurst, iface: Interface) -> None:
+        segments = burst.segments
+        port = segments[0].dst_port
+        if any(d.dst_port != port for d in segments):
+            # Mixed destination ports (possible after splintering): fall
+            # back to per-datagram demux.
+            for dgram in segments:
+                self.receive(dgram, iface)
+            return
+        burst_handler = self._burst_bindings.get(port)
+        if burst_handler is not None:
+            self.rx_datagrams += len(segments)
+            burst_handler(burst)
+            return
+        handler = self._bindings.get(port)
+        if handler is None:
+            self.unrouted += len(segments)
+            return
+        for dgram in segments:
+            self.rx_datagrams += 1
+            handler(dgram)
 
     @property
     def addresses(self) -> list[str]:
@@ -188,11 +260,12 @@ class Nat(Node):
             self.outside.address = self.external_addr
         self.rebinds += 1
 
-    def receive(self, dgram: Datagram, iface: Interface) -> None:
+    def _translate(self, dgram: Datagram, iface: Interface) -> Optional[Datagram]:
+        """Rewrite one datagram, or None if the NAT drops it."""
         dgram.hops += 1
         if dgram.hops > self.MAX_HOPS:
             self.dropped += 1
-            return
+            return None
         if iface is self.inside:
             key = (dgram.src_addr, dgram.src_port)
             port = self._forward.get(key)
@@ -202,21 +275,36 @@ class Nat(Node):
                 self._forward[key] = port
                 self._reverse[port] = key
             self.translated += 1
-            self.outside.send(Datagram(
+            return Datagram(
                 self.external_addr, port, dgram.dst_addr, dgram.dst_port,
-                dgram.payload, hops=dgram.hops, ecn_ce=dgram.ecn_ce))
-        else:
-            key = self._reverse.get(dgram.dst_port)
-            if key is None or dgram.dst_addr != self.external_addr:
-                # No binding (e.g. a reply that outlived a rebind, or a
-                # packet for a stale external address): silently dropped,
-                # exactly like a real NAT.
-                self.dropped += 1
-                return
-            self.translated += 1
-            self.inside.send(Datagram(
-                dgram.src_addr, dgram.src_port, key[0], key[1],
-                dgram.payload, hops=dgram.hops, ecn_ce=dgram.ecn_ce))
+                dgram.payload, hops=dgram.hops, ecn_ce=dgram.ecn_ce)
+        key = self._reverse.get(dgram.dst_port)
+        if key is None or dgram.dst_addr != self.external_addr:
+            # No binding (e.g. a reply that outlived a rebind, or a
+            # packet for a stale external address): silently dropped,
+            # exactly like a real NAT.
+            self.dropped += 1
+            return None
+        self.translated += 1
+        return Datagram(
+            dgram.src_addr, dgram.src_port, key[0], key[1],
+            dgram.payload, hops=dgram.hops, ecn_ce=dgram.ecn_ce)
+
+    def receive(self, dgram: Datagram, iface: Interface) -> None:
+        out = self._translate(dgram, iface)
+        if out is None:
+            return
+        target = self.outside if iface is self.inside else self.inside
+        target.send(out)
+
+    def receive_burst(self, burst: DatagramBurst, iface: Interface) -> None:
+        """Translate each segment; survivors continue as one burst."""
+        segments = [d for d in (self._translate(dgram, iface)
+                                for dgram in burst.segments) if d is not None]
+        if not segments:
+            return
+        target = self.outside if iface is self.inside else self.inside
+        target.send_burst(DatagramBurst(segments))
 
 
 class Router(Node):
@@ -257,3 +345,24 @@ class Router(Node):
             return
         self.forwarded += 1
         self.interfaces[index].send(dgram)
+
+    def receive_burst(self, burst: DatagramBurst, iface: Interface) -> None:
+        """Forward the whole burst with ONE route lookup (the GSO win)."""
+        segments = burst.segments
+        first = segments[0]
+        if any(d.dst_addr != first.dst_addr for d in segments):
+            # Mixed destinations (possible after splintering): unroll.
+            for dgram in segments:
+                self.receive(dgram, iface)
+            return
+        for dgram in segments:
+            dgram.hops += 1
+        if first.hops > self.MAX_HOPS:
+            self.unrouted += len(segments)
+            return
+        index = self._lookup(first.dst_addr)
+        if index is None or index >= len(self.interfaces):
+            self.unrouted += len(segments)
+            return
+        self.forwarded += len(segments)
+        self.interfaces[index].send_burst(burst)

@@ -276,10 +276,19 @@ class Simulator:
         # every pop while thousands of far timers are standing.
         self._wheel_bound: Optional[float] = None
         self.events_fired = 0  # total events executed (observability)
+        #: Events *saved* by GSO/GRO batching: each n-segment burst rides
+        #: one delivery event where the unbatched path would schedule n.
+        self.events_coalesced = 0
         #: Optional :class:`~repro.trace.metrics.MetricsRegistry`; run
         #: loops fold their event counts into it on exit (never per
         #: event, so the loop itself stays metric-free).
         self.metrics = metrics
+
+    def note_coalesced(self, saved: int) -> None:
+        """Record ``saved`` events avoided by delivering a burst as one."""
+        self.events_coalesced += saved
+        if self.metrics is not None and saved:
+            self.metrics.counter("sim.events_coalesced").inc(saved)
 
     def _account(self, fired: int) -> None:
         """Fold a run's event count into the counters / registry."""

@@ -39,6 +39,7 @@ from .errors import (
     TransportErrorCode,
 )
 from .packet import (
+    FORM_LONG,
     Epoch,
     PacketHeader,
     PacketType,
@@ -47,6 +48,7 @@ from .packet import (
     encode_short_header,
     parse_header,
     seal_packet,
+    seal_packet_into,
 )
 from .recovery import PacketNumberSpace, RttEstimator, SentPacket
 from .reset import is_stateless_reset, stateless_reset_token
@@ -304,6 +306,19 @@ class QuicConnection:
 
         # Reusable per-packet encode buffer (cleared before each use).
         self._payload_buf = Buffer()
+        # Batched datapath (REPRO_BATCH=0 restores one packet per
+        # datagram).  Read once at construction so a single process can
+        # host batched and unbatched endpoints side by side (the bench
+        # A/B does exactly that).
+        self._batch = os.environ.get("REPRO_BATCH", "1") != "0"
+        # Pooled scatter-gather packet buffer: header ‖ ciphertext ‖ tag
+        # are appended into it, never concatenated.
+        self._pkt_buf = bytearray()
+        # Differential hook: when True every outgoing packet is also
+        # produced through the legacy encode/seal path and compared
+        # byte-for-byte; mismatches accumulate here.
+        self._shadow_encode = False
+        self.shadow_mismatches: list = []
 
         # Statistics (read by the monitoring plugin through get/set API).
         self.stats = {
@@ -1218,25 +1233,29 @@ class QuicConnection:
     def _datagram_contains_close(self, data: bytes) -> bool:
         """Decrypt and scan a datagram for CONNECTION_CLOSE without
         processing it (used while CLOSING, when normal processing has
-        stopped).  Anything undecodable counts as not-a-close."""
+        stopped).  Scans every coalesced packet in the datagram (§12.2);
+        anything undecodable counts as not-a-close."""
         try:
             buf = Buffer(data)
-            header, payload_len = parse_header(buf, CID_LENGTH)
-            header_bytes = data[:buf.position]
-            ciphertext = buf.pull_bytes(payload_len)
-            pair = self.crypto.get(header.epoch)
-            if pair is None:
-                return False
-            space = (self.initial_space if header.epoch is Epoch.INITIAL
-                     else self.paths[0].space)
-            pn = decode_packet_number(header.packet_number, space.largest_received)
-            plaintext = pair.recv.open(pn, header_bytes, ciphertext)
-            fbuf = Buffer(plaintext)
-            while not fbuf.eof():
-                ftype = fbuf.pull_varint()
-                self.frame_registry.lookup(ftype).parse(fbuf, ftype)
-                if ftype in (F.CONNECTION_CLOSE, F.CONNECTION_CLOSE + 1):
-                    return True
+            while not buf.eof():
+                start = buf.position
+                header, payload_len = parse_header(buf, CID_LENGTH)
+                header_bytes = data[start:buf.position]
+                ciphertext = buf.pull_bytes(payload_len)
+                pair = self.crypto.get(header.epoch)
+                if pair is None:
+                    return False
+                space = (self.initial_space if header.epoch is Epoch.INITIAL
+                         else self.paths[0].space)
+                pn = decode_packet_number(
+                    header.packet_number, space.largest_received)
+                plaintext = pair.recv.open(pn, header_bytes, ciphertext)
+                fbuf = Buffer(plaintext)
+                while not fbuf.eof():
+                    ftype = fbuf.pull_varint()
+                    self.frame_registry.lookup(ftype).parse(fbuf, ftype)
+                    if ftype in (F.CONNECTION_CLOSE, F.CONNECTION_CLOSE + 1):
+                        return True
         except (QuicError, ValueError, KeyError):
             return False
         return False
@@ -1248,54 +1267,86 @@ class QuicConnection:
         return decode_packet_number(truncated, largest)
 
     def _op_process_incoming_packet(self, conn, data: bytes, path_index: int) -> None:
+        """Process every QUIC packet coalesced into the datagram (§12.2).
+
+        Everything up to AEAD opening works on unauthenticated bytes: a
+        corrupted datagram must be *dropped*, never close the connection
+        (which a bare FrameEncodingError — a TransportError — would do).
+        Once at least one packet of the datagram has authenticated, an
+        undecodable or undecryptable tail is dropped silently (§12.2:
+        receivers ignore coalesced packets they cannot process); only a
+        datagram with *no* authenticated packet raises, which keeps the
+        stateless-reset check in :meth:`receive_datagram` reachable —
+        a reset datagram (§10.3) never authenticates.
+        """
         buf = Buffer(data)
-        # Everything up to AEAD opening works on unauthenticated bytes: a
-        # corrupted datagram must be *dropped*, never close the connection
-        # (which a bare FrameEncodingError — a TransportError — would do).
-        try:
-            header, payload_len = self.protoops.run(
-                self, "parse_packet_header", None, buf)
-            header_bytes = data[:buf.position]
-            ciphertext = buf.pull_bytes(payload_len)
-        except ProtoopError:
-            raise
-        except (TransportError, ValueError) as exc:
-            raise CryptoError(f"undecodable packet header: {exc}") from exc
-        epoch = header.epoch
-        if epoch is Epoch.HANDSHAKE:
-            raise CryptoError("handshake epoch unused in this model")
-        if (epoch is Epoch.INITIAL and not self.is_client
-                and len(data) < INITIAL_PADDING_TARGET):
-            # §14.1: clients must expand Initial datagrams to 1200 bytes.
-            # Dropping smaller ones before deriving keys denies spoofed
-            # mini-Initials both amplification and server-side state.
-            self.stats["undersized_initials_dropped"] += 1
-            raise CryptoError("client Initial datagram below 1200 bytes")
-        if epoch is Epoch.INITIAL and self.crypto[Epoch.INITIAL] is None:
-            # Server side: derive initial keys from the client's DCID.
-            self._original_dcid = header.destination_cid
-            self.crypto[Epoch.INITIAL] = initial_crypto_pair(header.destination_cid, False)
-        pair = self.crypto[epoch]
-        if pair is None:
-            raise CryptoError(f"no keys for epoch {epoch}")
-        if path_index >= len(self.paths):
-            path_index = 0
-        space = self.initial_space if epoch is Epoch.INITIAL else self.paths[path_index].space
-        full_pn = self.protoops.run(
-            self, "decode_packet_number", None,
-            header.packet_number, space.largest_received,
-        )
-        plaintext = pair.recv.open(full_pn, header_bytes, ciphertext)
-        if epoch is Epoch.INITIAL and header.source_cid:
-            # Both sides learn the peer's chosen source CID from Initials.
-            self.peer_cid = header.source_cid
-        if epoch is Epoch.ONE_RTT:
-            # Spin bit: the server echoes, the client inverts (§4.1 / [96]).
-            new_spin = header.spin_bit if not self.is_client else not header.spin_bit
-            if new_spin != self.spin_bit:
-                self.protoops.run(self, "spin_bit_flipped", None, new_spin)
-            self.spin_bit = new_spin
-        self._process_payload(epoch, path_index, full_pn, plaintext, space)
+        mview = memoryview(data)
+        datagram_len = len(data)
+        authenticated = 0
+        while not buf.eof():
+            start = buf.position
+            try:
+                header, payload_len = self.protoops.run(
+                    self, "parse_packet_header", None, buf)
+                header_bytes = mview[start:buf.position]
+                ciphertext = buf.pull_view(payload_len)
+            except ProtoopError:
+                raise
+            except (TransportError, ValueError) as exc:
+                if authenticated:
+                    return
+                raise CryptoError(f"undecodable packet header: {exc}") from exc
+            epoch = header.epoch
+            if epoch is Epoch.HANDSHAKE:
+                if authenticated:
+                    return
+                raise CryptoError("handshake epoch unused in this model")
+            if (epoch is Epoch.INITIAL and not self.is_client
+                    and datagram_len < INITIAL_PADDING_TARGET):
+                # §14.1: clients must expand Initial datagrams to 1200
+                # bytes (the whole datagram counts, §12.2).  Dropping
+                # smaller ones before deriving keys denies spoofed
+                # mini-Initials both amplification and server-side state.
+                self.stats["undersized_initials_dropped"] += 1
+                if authenticated:
+                    return
+                raise CryptoError("client Initial datagram below 1200 bytes")
+            if epoch is Epoch.INITIAL and self.crypto[Epoch.INITIAL] is None:
+                # Server side: derive initial keys from the client's DCID.
+                self._original_dcid = header.destination_cid
+                self.crypto[Epoch.INITIAL] = initial_crypto_pair(
+                    header.destination_cid, False)
+            pair = self.crypto[epoch]
+            if pair is None:
+                if authenticated:
+                    return
+                raise CryptoError(f"no keys for epoch {epoch}")
+            if path_index >= len(self.paths):
+                path_index = 0
+            space = (self.initial_space if epoch is Epoch.INITIAL
+                     else self.paths[path_index].space)
+            full_pn = self.protoops.run(
+                self, "decode_packet_number", None,
+                header.packet_number, space.largest_received,
+            )
+            try:
+                plaintext = pair.recv.open(full_pn, header_bytes, ciphertext)
+            except CryptoError:
+                if authenticated:
+                    return
+                raise
+            authenticated += 1
+            if epoch is Epoch.INITIAL and header.source_cid:
+                # Both sides learn the peer's chosen source CID from Initials.
+                self.peer_cid = header.source_cid
+            if epoch is Epoch.ONE_RTT:
+                # Spin bit: the server echoes, the client inverts (§4.1 / [96]).
+                new_spin = (header.spin_bit if not self.is_client
+                            else not header.spin_bit)
+                if new_spin != self.spin_bit:
+                    self.protoops.run(self, "spin_bit_flipped", None, new_spin)
+                self.spin_bit = new_spin
+            self._process_payload(epoch, path_index, full_pn, plaintext, space)
 
     def _process_payload(
         self,
@@ -1409,7 +1460,8 @@ class QuicConnection:
 
     def datagrams_to_send(self, now: float) -> list:
         """Build as many packets as credit allows; returns
-        [(payload, path_index), ...]."""
+        [(datagram, path_index), ...].  On the batched path several
+        QUIC packets may share one datagram (§12.2 coalescing)."""
         self.now = max(self.now, now)
         out = []
         if self._close_frame_pending is not None:
@@ -1425,6 +1477,42 @@ class QuicConnection:
             if built is None:
                 break
             out.append(built)
+        if self._batch and len(out) > 1:
+            out = self._coalesce_datagrams(out)
+        return out
+
+    def _coalesce_datagrams(self, packets: list) -> list:
+        """Pack consecutive QUIC packets into shared UDP datagrams
+        (RFC 9000 §12.2).
+
+        Only a long-header packet carries an explicit Length field, so
+        only it may be followed by another packet in the same datagram;
+        a short-header packet runs to the datagram end and always closes
+        one.  Packets coalesce only onto the same path and never beyond
+        the path MTU.  The wire bytes of every packet are unchanged —
+        receivers split the train on the Length fields."""
+        mtu = self.configuration.max_udp_payload_size
+        out = []
+        parts: list = []
+        parts_len = 0
+        parts_path = -1
+        prev_open = False  # last appended packet had a long header
+        for pkt, path_index in packets:
+            if (prev_open and path_index == parts_path
+                    and parts_len + len(pkt) <= mtu):
+                parts.append(pkt)
+                parts_len += len(pkt)
+            else:
+                if parts:
+                    out.append((parts[0] if len(parts) == 1
+                                else b"".join(parts), parts_path))
+                parts = [pkt]
+                parts_len = len(pkt)
+                parts_path = path_index
+            prev_open = bool(pkt[0] & FORM_LONG)
+        if parts:
+            out.append((parts[0] if len(parts) == 1
+                        else b"".join(parts), parts_path))
         return out
 
     def _build_close_packet(self) -> Optional[bytes]:
@@ -1494,6 +1582,12 @@ class QuicConnection:
                 self._write_param(frame), frame, payload,
             )
         plaintext = payload.data()
+        if self._shadow_encode:
+            # Differential check: the scatter-gather encode must be
+            # bit-identical to the legacy one-bytes-per-frame path.
+            legacy = b"".join(f.to_bytes() for f in frames)
+            if legacy != plaintext:
+                self.shadow_mismatches.append(("encode", epoch, plaintext, legacy))
         return self._protect_and_record(
             epoch, path_index, plaintext, frames, not ack_only
         )
@@ -1545,7 +1639,16 @@ class QuicConnection:
                 pn,
                 spin_bit=self.protoops.run(self, "set_spin_bit", None),
             )
-        packet = seal_packet(header, plaintext, self.crypto[epoch].send, pn)
+        pkt_buf = self._pkt_buf
+        del pkt_buf[:]
+        seal_packet_into(pkt_buf, header, plaintext, self.crypto[epoch].send, pn)
+        packet = bytes(pkt_buf)
+        if self._shadow_encode:
+            # Differential check: scatter-gather sealing must be
+            # bit-identical to the legacy header + seal() concatenation.
+            legacy = seal_packet(header, plaintext, self.crypto[epoch].send, pn)
+            if legacy != packet:
+                self.shadow_mismatches.append(("seal", pn, packet, legacy))
         if epoch is Epoch.INITIAL and self.is_client and len(packet) < INITIAL_PADDING_TARGET:
             # Clients pad Initial datagrams (anti-amplification).
             pad = INITIAL_PADDING_TARGET - len(packet)

@@ -122,6 +122,26 @@ class AeadContext:
         cipher = _xor(plaintext, keystream)
         return cipher + self._tag(state, header, plaintext)
 
+    def seal_into(self, out: bytearray, packet_number: int,
+                  header: bytes, plaintext: bytes) -> None:
+        """Scatter-gather variant of :meth:`seal`: append the complete
+        protected packet (header ‖ ciphertext ‖ tag) into ``out``.
+
+        ``header`` and ``plaintext`` may be any buffer (bytes, bytearray,
+        memoryview); nothing is concatenated per packet — the pooled
+        datagram buffer receives the pieces directly, and the bytes are
+        identical to ``header + seal(...)``.
+        """
+        nonce = self._nonce(packet_number)
+        state = self._nonce_state(nonce)
+        block = self._block(nonce, state)
+        length = len(plaintext)
+        keystream = block if length <= len(block) \
+            else block * (length // len(block) + 1)
+        out += header
+        out += _xor(plaintext, keystream)
+        out += self._tag(state, header, plaintext)
+
     def open(self, packet_number: int, header: bytes, ciphertext: bytes) -> bytes:
         """Decrypt and verify; raises CryptoError on any mismatch."""
         if len(ciphertext) < TAG_LENGTH:

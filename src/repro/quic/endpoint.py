@@ -12,7 +12,7 @@ import hashlib
 import random
 from typing import Callable, Optional
 
-from repro.netsim import Datagram, Host, Simulator
+from repro.netsim import Datagram, DatagramBurst, Host, Simulator
 
 from .connection import (
     CID_LENGTH,
@@ -45,14 +45,18 @@ class _ConnectionDriver:
 
     def pump(self) -> None:
         """Send everything sendable and rearm the timer."""
-        for payload, path_index in self.conn.datagrams_to_send(self.sim.now):
-            path = self.conn.paths[path_index]
-            if path.local_addr is None or path.peer_addr is None:
-                continue
-            self.host.sendto(
-                payload, path.local_addr, self.local_port,
-                path.peer_addr, self.peer_port,
-            )
+        out = self.conn.datagrams_to_send(self.sim.now)
+        if len(out) > 1 and self.conn._batch:
+            self._send_batched(out)
+        else:
+            for payload, path_index in out:
+                path = self.conn.paths[path_index]
+                if path.local_addr is None or path.peer_addr is None:
+                    continue
+                self.host.sendto(
+                    payload, path.local_addr, self.local_port,
+                    path.peer_addr, self.peer_port,
+                )
         self._rearm_timer()
         if (not self._terminated
                 and self.conn.state is ConnectionState.CLOSED):
@@ -60,6 +64,43 @@ class _ConnectionDriver:
             self.stop()
             if self.on_terminated is not None:
                 self.on_terminated(self)
+
+    #: Max datagrams per GSO burst.  RFC 9002 §7.7 tells senders to limit
+    #: bursts to the initial congestion window (~10 packets); the cap also
+    #: keeps the tail-aligned burst delivery model honest — an uncapped
+    #: burst would collapse a whole flight into one arrival instant and
+    #: erase intra-flight ACK clocking.
+    MAX_BURST_SEGMENTS = 10
+
+    def _send_batched(self, out: list) -> None:
+        """GSO-style emit: consecutive datagrams for the same path travel
+        as one :class:`DatagramBurst` — a single simulator event and one
+        route lookup per hop for the whole train."""
+        conn = self.conn
+        segments: list = []
+        cur_path = None
+        for payload, path_index in out:
+            path = conn.paths[path_index]
+            if path.local_addr is None or path.peer_addr is None:
+                continue
+            if segments and (path is not cur_path
+                             or len(segments) >= self.MAX_BURST_SEGMENTS):
+                self._flush_burst(segments)
+                segments = []
+            cur_path = path
+            segments.append(Datagram(
+                path.local_addr, self.local_port,
+                path.peer_addr, self.peer_port, payload))
+        if segments:
+            self._flush_burst(segments)
+
+    def _flush_burst(self, segments: list) -> None:
+        if len(segments) == 1:
+            d = segments[0]
+            self.host.sendto(d.payload, d.src_addr, d.src_port,
+                             d.dst_addr, d.dst_port)
+        else:
+            self.host.send_burst(DatagramBurst(segments))
 
     def _rearm_timer(self) -> None:
         if self._timer_event is not None:
@@ -83,6 +124,19 @@ class _ConnectionDriver:
         self.pump()
 
     def receive(self, dgram: Datagram) -> None:
+        self._receive_one(dgram)
+        self.pump()
+
+    def receive_burst(self, burst: DatagramBurst) -> None:
+        """GRO-style receive: drain the whole burst, then pump ONCE —
+        ACK generation and the timer re-arm are coalesced per batch
+        instead of per datagram (the dominant batching win: one ACK
+        packet answers the train)."""
+        for dgram in burst.segments:
+            self._receive_one(dgram)
+        self.pump()
+
+    def _receive_one(self, dgram: Datagram) -> None:
         try:
             path_index = self.conn.protoops.run(
                 self.conn, "map_incoming_path", None,
@@ -116,7 +170,6 @@ class _ConnectionDriver:
             self.peer_port = dgram.src_port
         elif not authenticated and not from_peer:
             self.conn.note_off_path_packet()
-        self.pump()
 
     def stop(self) -> None:
         if self._timer_event is not None:
@@ -147,7 +200,7 @@ class ClientEndpoint:
         path0.peer_addr = server_addr
         self.driver = _ConnectionDriver(sim, host, local_port, server_port, self.conn)
         self.driver.on_terminated = self._on_terminated
-        host.bind(local_port, self.driver.receive)
+        host.bind(local_port, self.driver.receive, self.driver.receive_burst)
         self._unbound = False
 
     def connect(self) -> None:
@@ -164,7 +217,8 @@ class ClientEndpoint:
         available, and start validating the new path.  The old binding
         stays so in-flight replies are not dropped mid-switch."""
         if new_local_port is not None and new_local_port != self.driver.local_port:
-            self.host.bind(new_local_port, self.driver.receive)
+            self.host.bind(new_local_port, self.driver.receive,
+                           self.driver.receive_burst)
             self.driver.local_port = new_local_port
         self.conn.migrate(new_local_addr)
         self.driver.pump()
@@ -231,12 +285,34 @@ class ServerEndpoint:
             "stateless_resets_sent": 0,
             "undersized_initials": 0,
         }
-        host.bind(port, self._receive)
+        host.bind(port, self._receive, self._receive_burst)
 
     def _receive(self, dgram: Datagram) -> None:
+        driver = self._classify(dgram)
+        if driver is not None:
+            driver.receive(dgram)
+
+    def _receive_burst(self, burst: DatagramBurst) -> None:
+        """GRO-style batch receive: demux each segment, then pump every
+        touched driver ONCE — one ACK and one timer re-arm per driver
+        per burst, instead of per datagram."""
+        pumped: list = []
+        for dgram in burst.segments:
+            driver = self._classify(dgram)
+            if driver is None:
+                continue
+            driver._receive_one(dgram)
+            if driver not in pumped:
+                pumped.append(driver)
+        for driver in pumped:
+            driver.pump()
+
+    def _classify(self, dgram: Datagram) -> Optional[_ConnectionDriver]:
+        """Route one datagram to its driver (accepting a new connection
+        if warranted), or handle it terminally (reset / drop)."""
         dcid = self._destination_cid(dgram.payload)
         if dcid is None:
-            return
+            return None
         driver = self._by_cid.get(dcid)
         if driver is None:
             if not dgram.payload or not dgram.payload[0] & FORM_LONG:
@@ -244,15 +320,15 @@ class ServerEndpoint:
                 # for (e.g. we rebooted): answer with a stateless reset
                 # so the peer stops retrying into the void (§10.3).
                 self._send_stateless_reset(dgram, dcid)
-                return
+                return None
             if len(dgram.payload) < INITIAL_PADDING_TARGET:
                 # §14.1: drop undersized client Initials before spending
                 # connection state on them — a spoofed mini-Initial gets
                 # neither amplification nor a half-open connection.
                 self.stats["undersized_initials"] += 1
-                return
+                return None
             driver = self._accept(dgram, dcid)
-        driver.receive(dgram)
+        return driver
 
     def _send_stateless_reset(self, dgram: Datagram, dcid: bytes) -> None:
         reset = build_stateless_reset(

@@ -197,7 +197,10 @@ class CryptoFrame(Frame):
 
     @classmethod
     def parse(cls, buf: Buffer, frame_type: int) -> "CryptoFrame":
-        return cls(buf.pull_varint(), buf.pull_varint_prefixed_bytes())
+        # Zero-copy: ``data`` is a view into the packet plaintext (fresh
+        # bytes per packet), materialized only at the handshake layer.
+        offset = buf.pull_varint()
+        return cls(offset, buf.pull_view(buf.pull_varint()))
 
 
 @dataclass
@@ -231,10 +234,12 @@ class StreamFrame(Frame):
     def parse(cls, buf: Buffer, frame_type: int) -> "StreamFrame":
         stream_id = buf.pull_varint()
         offset = buf.pull_varint() if frame_type & 0x04 else 0
+        # Zero-copy: ``data`` aliases the packet plaintext; it is only
+        # materialized to bytes at the app boundary (ReceiveStream).
         if frame_type & 0x02:
-            data = buf.pull_varint_prefixed_bytes()
+            data = buf.pull_view(buf.pull_varint())
         else:
-            data = buf.pull_bytes(buf.remaining)
+            data = buf.pull_view(buf.remaining)
         return cls(stream_id=stream_id, offset=offset, data=data,
                    fin=bool(frame_type & 0x01))
 

@@ -190,6 +190,16 @@ def seal_packet(header_bytes: bytes, payload: bytes, aead: AeadContext, full_pn:
     return header_bytes + aead.seal(full_pn, header_bytes, payload)
 
 
+def seal_packet_into(
+    out: bytearray, header_bytes: bytes, payload: bytes,
+    aead: AeadContext, full_pn: int,
+) -> None:
+    """Append the complete wire packet into ``out`` (the pooled datagram
+    buffer) without per-packet concatenation; bit-identical to
+    :func:`seal_packet`."""
+    aead.seal_into(out, full_pn, header_bytes, payload)
+
+
 def open_payload(
     header_bytes: bytes, ciphertext: bytes, aead: AeadContext, full_pn: int
 ) -> bytes:

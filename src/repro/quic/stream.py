@@ -94,7 +94,10 @@ class SendStream:
                 data = bytes(
                     self._buffer[start - self._buffer_start: stop - self._buffer_start]
                 )
-                self._pending.subtract(start, stop)
+                # O(1): a bulk sender always consumes a prefix of the
+                # lowest pending range, so chop it instead of rebuilding
+                # the whole range list with subtract().
+                self._pending.chop_first(stop)
                 fin = (
                     self.fin
                     and stop == self._highest_offset
@@ -162,6 +165,8 @@ class ReceiveStream:
         self.stream_id = stream_id
         self.max_stream_data = max_stream_data  # local limit we advertised
         self._received = RangeSet()
+        # Out-of-order chunks; bytes or memoryviews into packet plaintext
+        # (fresh per packet, so views stay valid until drained).
         self._chunks: dict[int, bytes] = {}
         self._read_offset = 0
         self.final_size: Optional[int] = None
@@ -183,30 +188,37 @@ class ReceiveStream:
         elif self.final_size is not None and end > self.final_size:
             raise FinalSizeError("data received beyond final size")
         if data:
+            if offset == self._read_offset and not self._chunks:
+                # In-order fast path (the overwhelmingly common case on a
+                # bulk transfer): nothing is buffered, so the chunk goes
+                # straight to the reader.  This is the app boundary — the
+                # one place a memoryview chunk is materialized to bytes.
+                self._received.add(offset, end)
+                self._read_offset = end
+                return data if type(data) is bytes else bytes(data)
             self._received.add(offset, end)
             self._chunks[offset] = data
         return self.read()
 
     def read(self) -> bytes:
         """Drain contiguous bytes starting at the read offset."""
+        if not self._chunks:
+            return b""
         out = bytearray()
-        progressed = True
-        while progressed:
-            progressed = False
-            for off in sorted(self._chunks):
-                data = self._chunks[off]
-                chunk_end = off + len(data)
-                if chunk_end <= self._read_offset:
-                    del self._chunks[off]
-                    progressed = True
-                    break
-                if off <= self._read_offset:
-                    take = data[self._read_offset - off:]
-                    out.extend(take)
-                    self._read_offset = chunk_end
-                    del self._chunks[off]
-                    progressed = True
-                    break
+        # One pass in offset order suffices: once a gap appears, no later
+        # chunk can be contiguous either.
+        for off in sorted(self._chunks):
+            data = self._chunks[off]
+            chunk_end = off + len(data)
+            if chunk_end <= self._read_offset:
+                del self._chunks[off]
+            elif off <= self._read_offset:
+                skip = self._read_offset - off
+                out += data[skip:] if skip else data
+                self._read_offset = chunk_end
+                del self._chunks[off]
+            else:
+                break
         return bytes(out)
 
     @property

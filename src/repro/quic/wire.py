@@ -56,12 +56,27 @@ def decode_varint(data: bytes, offset: int = 0) -> tuple[int, int]:
 
 
 class Buffer:
-    """A bounds-checked binary reader/writer used by all wire codecs."""
+    """A bounds-checked binary reader/writer used by all wire codecs.
+
+    Read-only ingest is zero-copy: a ``bytes`` or ``memoryview`` backing
+    is kept as-is and only promoted to a ``bytearray`` on the first
+    write, so parsing a datagram never duplicates it.  A ``bytearray``
+    input is still copied (the caller keeps ownership of its buffer).
+    """
 
     def __init__(self, data: bytes = b"", capacity: Optional[int] = None):
-        self._data = bytearray(data)
+        if type(data) is bytes or type(data) is memoryview:
+            self._data = data
+        else:
+            self._data = bytearray(data)
         self._pos = 0
         self._capacity = capacity
+
+    def _writable(self) -> bytearray:
+        """Promote a read-only backing to a bytearray (copy-on-write)."""
+        data = bytearray(self._data)
+        self._data = data
+        return data
 
     # --- reading -------------------------------------------------------
 
@@ -82,11 +97,25 @@ class Buffer:
         return self._pos >= len(self._data)
 
     def pull_bytes(self, n: int) -> bytes:
-        if n < 0 or self._pos + n > len(self._data):
+        pos = self._pos
+        data = self._data
+        if n < 0 or pos + n > len(data):
             raise FrameEncodingError(f"read of {n} bytes past end")
-        out = bytes(self._data[self._pos:self._pos + n])
-        self._pos += n
-        return out
+        sliced = data[pos:pos + n]
+        self._pos = pos + n
+        return sliced if type(sliced) is bytes else bytes(sliced)
+
+    def pull_view(self, n: int) -> memoryview:
+        """Zero-copy read: a memoryview over the next ``n`` bytes.
+
+        The view aliases the backing store; it stays valid as long as the
+        backing outlives it and no write promotes/clears the buffer.
+        """
+        pos = self._pos
+        if n < 0 or pos + n > len(self._data):
+            raise FrameEncodingError(f"read of {n} bytes past end")
+        self._pos = pos + n
+        return memoryview(self._data)[pos:pos + n]
 
     def pull_uint8(self) -> int:
         return self.pull_bytes(1)[0]
@@ -112,17 +141,29 @@ class Buffer:
     def clear(self) -> None:
         """Reset to empty for reuse, keeping the backing bytearray's
         allocation (hot encode paths reuse one Buffer per packet)."""
-        del self._data[:]
+        data = self._data
+        if type(data) is bytearray:
+            del data[:]
+        else:
+            self._data = bytearray()
         self._pos = 0
 
-    def push_bytes(self, data: bytes) -> None:
-        if self._capacity is not None and len(self._data) + len(data) > self._capacity:
+    def push_bytes(self, data) -> None:
+        """Append ``data`` — bytes, bytearray or memoryview (no copy is
+        made of the source beyond the append itself)."""
+        buf = self._data
+        if type(buf) is not bytearray:
+            buf = self._writable()
+        if self._capacity is not None and len(buf) + len(data) > self._capacity:
             raise FrameEncodingError("buffer capacity exceeded")
-        self._data.extend(data)
+        buf.extend(data)
 
     def push_uint8(self, v: int) -> None:
         if self._capacity is None:
-            self._data.append(v & 0xFF)
+            buf = self._data
+            if type(buf) is not bytearray:
+                buf = self._writable()
+            buf.append(v & 0xFF)
         else:
             self.push_bytes(bytes([v & 0xFF]))
 
@@ -143,6 +184,8 @@ class Buffer:
         # dominate frame serialization, and the intermediate bytes objects
         # of encode_varint() show up in per-packet allocation profiles.
         data = self._data
+        if type(data) is not bytearray:
+            data = self._writable()
         if 0 <= v < 64:
             data.append(v)
         elif v < 0 or v > VARINT_MAX:
@@ -160,7 +203,12 @@ class Buffer:
         self.push_bytes(data)
 
     def data(self) -> bytes:
-        return bytes(self._data)
+        data = self._data
+        return data if type(data) is bytes else bytes(data)
+
+    def view(self) -> memoryview:
+        """A zero-copy view over the whole backing store."""
+        return memoryview(self._data)
 
     def __len__(self) -> int:
         return len(self._data)
@@ -228,6 +276,22 @@ class RangeSet:
             if r.stop > stop:
                 new.append(range(stop, r.stop))
         self._ranges = new
+
+    def chop_first(self, stop: int) -> None:
+        """Remove ``[first.start, stop)`` from the first range in O(1).
+
+        The fast path for sequential consumers that always take a prefix
+        of the lowest pending range (``SendStream.next_chunk``); callers
+        must not pass ``stop`` beyond the first range's end.
+        """
+        ranges = self._ranges
+        if not ranges:
+            return
+        first = ranges[0]
+        if stop >= first.stop:
+            del ranges[0]
+        elif stop > first.start:
+            ranges[0] = range(stop, first.stop)
 
     def copy(self) -> "RangeSet":
         out = RangeSet()

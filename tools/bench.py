@@ -3,18 +3,21 @@
 
 Runs the Table-3 / §4.6-style workloads across every layer the fast-path
 engine touches — plus the many-connection ``quic-scale`` lifecycle
-workload and the NAT-rebinding ``migration`` workload — and writes
-``BENCH_pr6.json`` at the repository root, the trajectory file that
-future PRs compare themselves against.
+workload, the NAT-rebinding ``migration`` workload and the batched-
+datapath ``goodput`` A/B — and writes ``BENCH_pr7.json`` at the
+repository root, the trajectory file that future PRs compare themselves
+against.
 
 Usage (from the repository root)::
 
-    python tools/bench.py            # full run, writes BENCH_pr6.json
+    python tools/bench.py            # full run, writes BENCH_pr7.json
     python tools/bench.py --quick    # smaller iteration counts (CI smoke)
     python tools/bench.py --quick --check
                                      # additionally fail on >2x regression
                                      # vs the checked-in baseline (skipped
                                      # when no baseline exists yet)
+    python tools/bench.py --profile  # cProfile each workload, print the
+                                     # top 25 functions by cumulative time
 
 Metrics are throughputs (ops/sec, events/sec, bytes/sec) plus the
 interpreter-vs-JIT pluglet speedup; higher is always better.
@@ -58,6 +61,10 @@ MIN_MONITOR_FREE_SPEEDUP = 1.0
 #: the untouched BENCH_pr2.json-era dispatch path).  Measured interleaved
 #: in one process, so machine drift cancels.
 TRACE_OVERHEAD_LIMIT_PCT = 5.0
+#: Acceptance floor for the batched datapath: the GSO/GRO + zero-copy
+#: path must move bulk data at least this many times faster (wall-clock)
+#: than the same transfer with ``REPRO_BATCH=0``, plugins attached.
+MIN_GOODPUT_SPEEDUP = 2.0
 
 
 def _time(fn, *args):
@@ -532,6 +539,90 @@ def bench_migration(quick: bool) -> dict:
     }
 
 
+def _goodput_transfer(size: int, batch: bool) -> dict:
+    """One bulk upload over the paper's lossy 100 ms-RTT bottleneck with
+    the monitoring plugin attached on both ends, timed in wall-clock
+    seconds.  ``batch`` toggles the GSO/GRO datapath via the same
+    ``REPRO_BATCH`` kill switch users have; connections cache the flag at
+    construction, so both modes coexist in this one process."""
+    import os
+
+    from repro.core.plugin import PluginInstance
+    from repro.netsim import Simulator, symmetric_topology
+    from repro.plugins import build_monitoring_plugin
+    from repro.quic import ClientEndpoint, ServerEndpoint
+
+    previous = os.environ.get("REPRO_BATCH")
+    os.environ["REPRO_BATCH"] = "1" if batch else "0"
+    try:
+        sim = Simulator()
+        topo = symmetric_topology(sim, d_ms=50, bw_mbps=20, loss_pct=0.5,
+                                  seed=7, buffer_bytes=256 * 1024)
+        received = bytearray()
+        done = [False]
+
+        def on_conn(conn):
+            PluginInstance(build_monitoring_plugin(), conn).attach()
+            conn.on_stream_data = lambda sid, d, fin: (
+                received.extend(d), done.__setitem__(0, fin))
+
+        ServerEndpoint(sim, topo.server, "server.0", 443,
+                       on_connection=on_conn)
+        client = ClientEndpoint(sim, topo.client, "client.0", 5000,
+                                "server.0", 443)
+        PluginInstance(build_monitoring_plugin(), client.conn).attach()
+
+        # Establish first (the server's plugin attaches — and JIT-compiles
+        # — at accept time): goodput times the bulk phase only, so that
+        # fixed setup cost common to both modes does not dilute the ratio.
+        client.connect()
+        assert sim.run_until(lambda: client.conn.is_established, timeout=10)
+
+        def bulk():
+            sid = client.conn.create_stream()
+            client.conn.send_stream_data(sid, b"g" * size, fin=True)
+            client.pump()
+            assert sim.run_until(lambda: done[0], timeout=600)
+
+        t, _ = _time(bulk)
+        assert len(received) == size
+        assert client.conn._batch is batch
+        return {"wall_s": t, "sim_s": sim.now,
+                "events_coalesced": sim.events_coalesced}
+    finally:
+        if previous is None:
+            del os.environ["REPRO_BATCH"]
+        else:
+            os.environ["REPRO_BATCH"] = previous
+
+
+def bench_goodput(quick: bool) -> dict:
+    """Batched-datapath A/B: the same plugin-laden bulk transfer over a
+    100 ms RTT, 0.5 %-loss bottleneck, with the GSO/GRO + zero-copy
+    datapath on (default) and off (``REPRO_BATCH=0``).  Identical seeded
+    topology, identical payload; the gated ``goodput_batch_speedup`` is
+    the wall-clock ratio (``--check`` enforces ``MIN_GOODPUT_SPEEDUP``)."""
+    size = 300_000 if quick else 2_000_000
+    batched = _goodput_transfer(size, batch=True)
+    legacy = _goodput_transfer(size, batch=False)
+    assert batched["events_coalesced"] > 0  # GSO actually engaged
+    assert legacy["events_coalesced"] == 0  # kill switch really off
+    # The absolute coalesce count scales with the payload, so it is
+    # printed rather than gated (a quick CI run would trip a count gate
+    # against the full-run baseline).
+    print(f"    goodput: {batched['events_coalesced']:,} simulator events"
+          f" coalesced; sim-time {batched['sim_s']:.2f}s batched vs"
+          f" {legacy['sim_s']:.2f}s unbatched")
+    return {
+        "goodput_batched_bytes_per_sec":
+            (size / batched["wall_s"], "B/s"),
+        "goodput_unbatched_bytes_per_sec":
+            (size / legacy["wall_s"], "B/s"),
+        "goodput_batch_speedup":
+            (legacy["wall_s"] / batched["wall_s"], "x"),
+    }
+
+
 WORKLOADS = [
     ("pre-kernel", bench_pre_kernel),
     ("analysis", bench_analysis),
@@ -543,18 +634,31 @@ WORKLOADS = [
     ("e2e-transfer", bench_transfer),
     ("quic-scale", bench_quic_scale),
     ("migration", bench_migration),
+    ("goodput", bench_goodput),
 ]
 
 
 # --- reporting / regression gate --------------------------------------------
 
-def run_all(quick: bool) -> dict:
+def run_all(quick: bool, profile: bool = False) -> dict:
     metrics = {}
     for name, fn in WORKLOADS:
         print(f"[bench] {name} ...", flush=True)
-        for key, (value, unit) in fn(quick).items():
+        if profile:
+            import cProfile
+            import pstats
+
+            profiler = cProfile.Profile()
+            results = profiler.runcall(fn, quick)
+        else:
+            results = fn(quick)
+        for key, (value, unit) in results.items():
             metrics[key] = {"value": round(value, 3), "unit": unit}
             print(f"    {key:42s} {value:>14,.1f} {unit}")
+        if profile:
+            print(f"[bench] cProfile top 25 for {name}:")
+            stats = pstats.Stats(profiler)
+            stats.sort_stats("cumulative").print_stats(25)
     return metrics
 
 
@@ -590,14 +694,17 @@ def main(argv=None) -> int:
                         help="smaller iteration counts (CI smoke run)")
     parser.add_argument("--check", action="store_true",
                         help="fail on >2x regression vs the baseline")
+    parser.add_argument("--profile", action="store_true",
+                        help="run each workload under cProfile and print "
+                             "the top 25 functions by cumulative time")
     parser.add_argument("--output", type=pathlib.Path,
-                        default=ROOT / "BENCH_pr6.json")
+                        default=ROOT / "BENCH_pr7.json")
     parser.add_argument("--baseline", type=pathlib.Path,
-                        default=ROOT / "BENCH_pr6.json",
+                        default=ROOT / "BENCH_pr7.json",
                         help="baseline file compared by --check")
     args = parser.parse_args(argv)
 
-    metrics = run_all(args.quick)
+    metrics = run_all(args.quick, profile=args.profile)
 
     failures = []
     speedup = metrics["pre_kernel_jit_speedup"]["value"]
@@ -633,12 +740,23 @@ def main(argv=None) -> int:
         else:
             print(f"[bench] WARNING: {msg}")
 
+    goodput = metrics["goodput_batch_speedup"]["value"]
+    if goodput < MIN_GOODPUT_SPEEDUP:
+        msg = (f"goodput_batch_speedup {goodput:.2f}x below the "
+               f"{MIN_GOODPUT_SPEEDUP}x acceptance floor (batched datapath "
+               f"must move bulk data >= {MIN_GOODPUT_SPEEDUP}x faster than "
+               f"REPRO_BATCH=0)")
+        if args.check:
+            failures.append(msg)
+        else:
+            print(f"[bench] WARNING: {msg}")
+
     if args.check:
         failures += check_regressions(metrics, args.baseline)
 
     report = {
         "schema": "pquic-bench-v1",
-        "pr": "pr6",
+        "pr": "pr7",
         "quick": args.quick,
         "python": sys.version.split()[0],
         "metrics": metrics,
