@@ -14,7 +14,10 @@ Commands:
   fuel / wall-time / helper-call attribution;
 * ``lint [target...]``    — static analyzer + manifest linter over
   built-in plugins, ``.s`` assembly files, or directories of them;
-  exits non-zero when any error-severity diagnostic fires.
+  exits non-zero when any error-severity diagnostic fires;
+* ``conform``             — differential conformance sweeps: run a named
+  suite, a seeded random sweep or a saved repro file across the
+  kill-switch mode matrix, shrink any failure to a minimal repro.
 """
 
 from __future__ import annotations
@@ -200,6 +203,85 @@ def cmd_lint(args) -> int:
     return 0
 
 
+def cmd_conform(args) -> int:
+    from pathlib import Path
+
+    from repro import conformance as conf
+
+    if args.list:
+        for name in sorted(conf.SUITES):
+            scenarios = conf.load_suite(name)
+            print(f"{name}: {len(scenarios)} scenario(s): "
+                  f"{', '.join(s.name for s in scenarios)}")
+        return 0
+
+    try:
+        modes = conf.parse_modes(args.modes) if args.modes else conf.ALL_MODES
+    except ValueError as exc:
+        print(f"conform: {exc}", file=sys.stderr)
+        return 2
+
+    if args.repro:
+        try:
+            scenario, saved_modes = conf.load_repro(args.repro)
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"conform: cannot load repro {args.repro}: {exc}",
+                  file=sys.stderr)
+            return 2
+        if not args.modes:
+            modes = saved_modes
+        scenarios = [scenario]
+    elif args.cases:
+        scenarios = conf.random_scenarios(args.seed, args.cases)
+    elif args.suite:
+        try:
+            scenarios = conf.load_suite(args.suite)
+        except ValueError as exc:
+            print(f"conform: {exc}", file=sys.stderr)
+            return 2
+    else:
+        print("conform: pick one of --suite, --cases, --repro or --list",
+              file=sys.stderr)
+        return 2
+
+    failed = 0
+    out_dir = Path(args.out)
+    for scenario in scenarios:
+        verdict = conf.run_conformance(scenario, modes)
+        if verdict.passed:
+            print(f"ok    {scenario.name}  "
+                  f"({verdict.runs} runs across {len(modes)} modes)")
+            continue
+        failed += 1
+        print(f"FAIL  {scenario.name}  "
+              f"({len(verdict.failures)} oracle failure(s))")
+        for failure in verdict.failures[:args.max_failures]:
+            print(f"      {failure.format()}")
+        if len(verdict.failures) > args.max_failures:
+            print(f"      ... {len(verdict.failures) - args.max_failures} more")
+        if args.no_shrink:
+            continue
+        result = conf.shrink(scenario, conf.FAST_MODES)
+        if not result.failures:
+            # Failure not reproducible under the cheap two-mode matrix
+            # (e.g. batch-only divergence): shrink under the full one.
+            result = conf.shrink(scenario, modes)
+        minimal = result.minimal
+        print(f"      shrunk to {len(minimal.faults)} fault event(s), "
+              f"{minimal.workload.size} bytes, plugins "
+              f"{list(minimal.plugins)} in {result.evaluations} runs")
+        path = out_dir / f"{scenario.name}.repro.json"
+        conf.save_repro(path, minimal, modes, result.failures or
+                        verdict.failures,
+                        note=f"shrunk from scenario {scenario.name!r}")
+        print(f"      repro written to {path}")
+
+    total = len(scenarios)
+    print(f"{total - failed}/{total} scenario(s) pass "
+          f"({len(modes)}-mode matrix)")
+    return 1 if failed else 0
+
+
 def cmd_trace(args) -> int:
     from repro.core import PluginInstance
     from repro.netsim import Simulator, symmetric_topology
@@ -311,6 +393,30 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--quiet", action="store_true",
                    help="print errors only")
     p.set_defaults(func=cmd_lint)
+
+    p = sub.add_parser(
+        "conform",
+        help="cross-mode differential conformance sweeps")
+    p.add_argument("--suite", metavar="NAME",
+                   help="run a named suite (see --list)")
+    p.add_argument("--cases", type=int, metavar="N",
+                   help="run N seeded random scenarios instead of a suite")
+    p.add_argument("--seed", type=int, default=1,
+                   help="seed for --cases sweeps")
+    p.add_argument("--repro", metavar="PATH",
+                   help="replay a saved repro file")
+    p.add_argument("--modes", metavar="LIST",
+                   help="comma-separated mode names like J1-B1-A1 "
+                        "(default: the full kill-switch cross-product)")
+    p.add_argument("--no-shrink", action="store_true",
+                   help="report failures without delta-debugging them")
+    p.add_argument("--out", default="conformance-repros",
+                   help="directory for shrunken repro files")
+    p.add_argument("--max-failures", type=int, default=5,
+                   help="oracle failures printed per scenario")
+    p.add_argument("--list", action="store_true",
+                   help="list the available suites")
+    p.set_defaults(func=cmd_conform)
 
     p = sub.add_parser("trace", help="qlog-style trace of a transfer")
     p.add_argument("--size", type=int, default=50_000)

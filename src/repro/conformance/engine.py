@@ -1,0 +1,105 @@
+"""The conformance engine: sweep one scenario across execution modes,
+apply the oracle catalog, and package failures as repro files.
+
+The flow for one scenario::
+
+    reports  = [run_scenario(s, mode) for mode in modes]
+    failures = per-run oracles + cross-run oracles
+               (+ observer-transparency baseline when applicable)
+
+A failing verdict carries everything needed to reproduce: the scenario
+(pure data), the mode list, and the failures observed.  The CLI feeds
+failing scenarios to the shrinker and saves the minimized form via
+:func:`save_repro`; :func:`load_repro` replays it.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple
+
+from .oracles import OracleFailure, check_cross, check_run, check_transparency
+from .plugins import OBSERVER_PLUGINS
+from .runner import RunReport, run_scenario
+from .scenario import ALL_MODES, Mode, Scenario
+
+REPRO_SCHEMA = "pquic-conformance-repro-v1"
+
+
+@dataclass
+class ScenarioVerdict:
+    scenario: Scenario
+    modes: Tuple[Mode, ...]
+    reports: dict = field(default_factory=dict)  # mode name -> RunReport
+    failures: List[OracleFailure] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return not self.failures
+
+    @property
+    def runs(self) -> int:
+        return len(self.reports)
+
+
+def run_conformance(scenario: Scenario,
+                    modes: Sequence[Mode] = ALL_MODES,
+                    transparency: bool = True) -> ScenarioVerdict:
+    """Run ``scenario`` under every mode and evaluate every oracle."""
+    modes = tuple(modes)
+    verdict = ScenarioVerdict(scenario=scenario, modes=modes)
+    reports: List[RunReport] = []
+    for mode in modes:
+        report = run_scenario(scenario, mode)
+        verdict.reports[mode.name] = report
+        reports.append(report)
+        verdict.failures.extend(check_run(report, scenario))
+    verdict.failures.extend(check_cross(reports, scenario))
+    if (transparency and scenario.plugins
+            and all(p in OBSERVER_PLUGINS for p in scenario.plugins)):
+        bare = run_scenario(scenario.with_(plugins=()), modes[0])
+        verdict.reports[f"{modes[0].name}/bare"] = bare
+        verdict.failures.extend(
+            check_transparency(reports[0], bare, scenario))
+    return verdict
+
+
+def run_suite(scenarios: Sequence[Scenario],
+              modes: Sequence[Mode] = ALL_MODES) -> List[ScenarioVerdict]:
+    return [run_conformance(scenario, modes) for scenario in scenarios]
+
+
+# --- repro files -----------------------------------------------------------
+
+def repro_dict(scenario: Scenario, modes: Sequence[Mode],
+               failures: Sequence[OracleFailure] = (),
+               note: Optional[str] = None) -> dict:
+    return {
+        "schema": REPRO_SCHEMA,
+        "scenario": scenario.to_dict(),
+        "modes": [mode.name for mode in modes],
+        "failures": [failure.format() for failure in failures],
+        "note": note or "",
+    }
+
+
+def save_repro(path, scenario: Scenario, modes: Sequence[Mode],
+               failures: Sequence[OracleFailure] = (),
+               note: Optional[str] = None) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(
+        repro_dict(scenario, modes, failures, note), indent=2) + "\n")
+    return path
+
+
+def load_repro(path) -> Tuple[Scenario, Tuple[Mode, ...]]:
+    data = json.loads(Path(path).read_text())
+    if data.get("schema") != REPRO_SCHEMA:
+        raise ValueError(
+            f"{path}: not a conformance repro (schema={data.get('schema')!r})")
+    scenario = Scenario.from_dict(data["scenario"])
+    modes = tuple(Mode.parse(name) for name in data.get("modes", []))
+    return scenario, modes or ALL_MODES

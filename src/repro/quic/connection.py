@@ -327,6 +327,7 @@ class QuicConnection:
             "bytes_sent": 0,
             "bytes_received": 0,
             "packets_lost": 0,
+            "packets_acked": 0,
             "frames_received": 0,
             "acks_received": 0,
             "spurious_received": 0,
@@ -791,6 +792,11 @@ class QuicConnection:
         space = self.initial_space if epoch is Epoch.INITIAL else path.space
         self.stats["acks_received"] += 1
         result = space.on_ack_received(frame, self.now, path.rtt)
+        # Together with packets_lost this closes the send-side ledger:
+        # packets_sent == packets_acked + packets_lost + len(space.sent)
+        # at any instant — the conservation law the conformance oracles
+        # check across execution modes.
+        self.stats["packets_acked"] += len(result.newly_acked)
         if result.latest_rtt is not None:
             self.protoops.run(
                 self, "update_rtt", None, path.index, result.latest_rtt, frame.ack_delay

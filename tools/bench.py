@@ -767,6 +767,13 @@ def main(argv=None) -> int:
         out = out.with_suffix(".quick.json")
     out.write_text(json.dumps(report, indent=2) + "\n")
     print(f"[bench] wrote {out}")
+    if args.quick:
+        # Stable alias so consumers (the CI artifact upload) never have
+        # to track the PR-numbered report filename.
+        alias = ROOT / "BENCH_quick.json"
+        if alias != out:
+            alias.write_text(json.dumps(report, indent=2) + "\n")
+            print(f"[bench] wrote {alias}")
 
     if failures:
         for f in failures:
