@@ -126,18 +126,77 @@ def cmd_inspect(args) -> int:
     return 0
 
 
-def _lint_builtin(name: str, conn, protoop_names) -> list:
+def _lint_builtin(name: str, conn, protoop_names, plugin_objs) -> list:
     """Lint one built-in plugin with the host's protoop and helper sets."""
     from repro.core.api import PluginApi
     from repro.core.plugin import PluginRuntime
     from repro.vm.analysis import lint_plugin
 
     plugin = BUILTIN_PLUGINS[name]()
+    plugin_objs.append(plugin)
     runtime = PluginRuntime(plugin, conn)
     helper_ids = set(PluginApi(runtime).helper_table())
     helper_ids.update(runtime.extra_helpers)
     return [(name, d)
             for d in lint_plugin(plugin, protoop_names, helper_ids)]
+
+
+def _load_plugin_set_file(path):
+    """Parse a ``.json`` plugin-set file into Plugin objects.
+
+    Format: ``{"pair": [{"name": ..., "pluglets": [{"name", "protoop",
+    "anchor", "source", "param"?, "fuel"?, "helper_budget"?,
+    "triggers"?}, ...]}, ...]}`` — restricted-Python sources are compiled
+    on the fly (the corpus under ``tests/corpus/pairs/`` uses this)."""
+    import json
+
+    from repro.core.plugin import Plugin, Pluglet
+
+    spec = json.loads(path.read_text())
+    plugins = []
+    for pspec in spec["pair"]:
+        pluglets = [
+            Pluglet.from_source(
+                name=ps["name"],
+                protoop=ps["protoop"],
+                anchor=ps.get("anchor", "replace"),
+                source=ps["source"],
+                param=ps.get("param"),
+                fuel=int(ps.get("fuel", 0)),
+                helper_budget=int(ps.get("helper_budget", 0)),
+                triggers=tuple(ps.get("triggers", ())),
+            )
+            for ps in pspec["pluglets"]
+        ]
+        plugins.append(Plugin(pspec["name"], pluglets))
+    return plugins
+
+
+def _lint_plugin_set_file(path) -> list:
+    """Lint a ``.json`` plugin-set file: per-plugin analyzer + manifest
+    lint, then the cross-plugin conflict catalog (``PRE200``+)."""
+    from repro.core.api import FIELD_NAMES, HELPER_EFFECTS
+    from repro.vm.analysis import (
+        Diagnostic,
+        Severity,
+        check_plugin_set,
+        lint_plugin,
+        summarize_plugin,
+    )
+
+    try:
+        plugins = _load_plugin_set_file(path)
+    except Exception as exc:  # noqa: BLE001 - any load error is a finding
+        return [(str(path), Diagnostic(
+            "PRE000", Severity.ERROR, f"plugin-set file rejected: {exc}"))]
+    found = []
+    for plugin in plugins:
+        found.extend((f"{path}:{plugin.name}", d)
+                     for d in lint_plugin(plugin))
+    effects = [summarize_plugin(p, HELPER_EFFECTS) for p in plugins]
+    found.extend((str(path), d)
+                 for d in check_plugin_set(effects, FIELD_NAMES))
+    return found
 
 
 def _lint_asm_file(path) -> list:
@@ -164,24 +223,47 @@ def cmd_lint(args) -> int:
     protoop_names = set(conn.protoops.names)
 
     found = []  # (target, Diagnostic)
+    plugin_objs: list = []
     targets = args.targets or sorted(BUILTIN_PLUGINS)
     for target in targets:
         if target in BUILTIN_PLUGINS:
-            found.extend(_lint_builtin(target, conn, protoop_names))
+            found.extend(_lint_builtin(target, conn, protoop_names,
+                                       plugin_objs))
             continue
         path = Path(target)
         if path.is_dir():
-            files = sorted(path.rglob("*.s"))
+            files = sorted(path.rglob("*.s")) + sorted(path.rglob("*.json"))
             if not files:
-                print(f"{target}: no .s files found", file=sys.stderr)
+                print(f"{target}: no .s or .json files found",
+                      file=sys.stderr)
                 return 2
             for f in files:
-                found.extend(_lint_asm_file(f))
+                if f.suffix == ".json":
+                    found.extend(_lint_plugin_set_file(f))
+                else:
+                    found.extend(_lint_asm_file(f))
         elif path.is_file():
-            found.extend(_lint_asm_file(path))
+            if path.suffix == ".json":
+                found.extend(_lint_plugin_set_file(path))
+            else:
+                found.extend(_lint_asm_file(path))
         else:
             print(f"unknown plugin or path: {target}", file=sys.stderr)
             return 2
+
+    if args.targets and len(plugin_objs) >= 2:
+        # Explicitly linting several plugins at once also checks them
+        # *against each other*: a set meant to attach together must stay
+        # free of hard conflicts.  (The no-argument form lints each
+        # bundled plugin individually — the builtin list contains
+        # mutually-exclusive variants, e.g. the three FEC schemes, that
+        # all replace the same protoops by design.)
+        from repro.core.api import FIELD_NAMES, HELPER_EFFECTS
+        from repro.vm.analysis import check_plugin_set, summarize_plugin
+
+        effects = [summarize_plugin(p, HELPER_EFFECTS) for p in plugin_objs]
+        found.extend(("cross-plugin", d)
+                     for d in check_plugin_set(effects, FIELD_NAMES))
 
     from repro.vm.analysis import Severity
 

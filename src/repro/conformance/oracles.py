@@ -104,6 +104,7 @@ _TIMING_CLASS_FIELDS = (
     ("trace_digest", "deterministic trace stream"),
     ("fault_stats", "fault injector decisions"),
     ("duration", "simulated completion time"),
+    ("plugins_rejected", "attach-time plugin rejections"),
 )
 
 

@@ -58,6 +58,24 @@ def diverge_count(epoch, path_id, pn):
     return Plugin(DIVERGENT_PLUGIN_NAME, [count])
 
 
+def _build_conflict_plugin(suffix: str):
+    """One half of a deliberately conflicting pair: both halves replace
+    the same protoop, so whichever attaches second must be rejected —
+    by the conflict analyzer (``PRE200``) when ``REPRO_ANALYSIS=1``, by
+    the protoop table's already-replaced check when it is off.  The
+    conformance suite asserts the rejection is mode-independent."""
+    from repro.core.plugin import Plugin, Pluglet
+
+    pluglet = Pluglet.from_source(
+        f"claim_{suffix}", "conformance_conflict_op", "replace",
+        f"""
+def claim_{suffix}():
+    return {ord(suffix)}
+""",
+    )
+    return Plugin(f"org.conformance.conflict-{suffix}", [pluglet])
+
+
 def _builtin(module: str, name: str, *args) -> Callable:
     def build():
         import importlib
@@ -76,6 +94,8 @@ PLUGIN_BUILDERS: Dict[str, Callable] = {
     "ecn": _builtin("repro.plugins.ecn", "build_ecn_plugin"),
     # Test-only (x- prefix): never part of shipped suites' green paths.
     "x-jit-divergent": build_jit_divergent_plugin,
+    "x-conflict-a": lambda: _build_conflict_plugin("a"),
+    "x-conflict-b": lambda: _build_conflict_plugin("b"),
 }
 
 

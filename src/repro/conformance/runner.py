@@ -53,6 +53,11 @@ class RunReport:
     trace_digest: str = ""
     fault_stats: dict = field(default_factory=dict)
     shadow_mismatches: int = 0
+    #: Plugin names refused at attach time (conflict analyzer or protoop
+    #: table).  Rejection must be mode-independent, so this is part of
+    #: the cross-mode parity fields; the *reason* text is not compared
+    #: (the analyzer and the table word the same refusal differently).
+    plugins_rejected: list = field(default_factory=list)
     #: Unexpected exception text (the run itself crashed).
     error: Optional[str] = None
 
@@ -123,8 +128,23 @@ def run_scenario(scenario: Scenario, mode: Mode) -> RunReport:
     return report
 
 
-def _run(scenario: Scenario, report: RunReport) -> None:
+def _attach_plugins(conn, scenario: Scenario, report: RunReport) -> None:
+    """Attach the scenario's plugins in declared order; a plugin the host
+    refuses (inter-plugin conflict, protoop already replaced) degrades the
+    run rather than crashing it, and its name is recorded for the parity
+    oracles — rejection must not depend on the execution mode."""
     from repro.core import PluginInstance
+    from repro.core.protoop import ProtoopError
+
+    for name in scenario.plugins:
+        try:
+            PluginInstance(build_plugin(name), conn).attach()
+        except ProtoopError:
+            if name not in report.plugins_rejected:
+                report.plugins_rejected.append(name)
+
+
+def _run(scenario: Scenario, report: RunReport) -> None:
     from repro.netsim import Simulator, symmetric_topology
     from repro.netsim.topology import nat_topology
     from repro.quic import ClientEndpoint, ServerEndpoint
@@ -171,8 +191,7 @@ def _run(scenario: Scenario, report: RunReport) -> None:
         server_conns.append(conn)
         profiler.attach(conn)
         ConnectionMetrics(conn, registry, prefix="server.")
-        for name in scenario.plugins:
-            PluginInstance(build_plugin(name), conn).attach()
+        _attach_plugins(conn, scenario, report)
         answered = set()
 
         def on_stream_data(stream_id, data, fin):
@@ -193,8 +212,7 @@ def _run(scenario: Scenario, report: RunReport) -> None:
     profiler.attach(client.conn)
     ConnectionMetrics(client.conn, registry, prefix="client.")
     tracer = ConnectionTracer(client.conn, max_events=500_000)
-    for name in scenario.plugins:
-        PluginInstance(build_plugin(name), client.conn).attach()
+    _attach_plugins(client.conn, scenario, report)
 
     def on_stream_data(stream_id, data, fin):
         received.extend(data)
@@ -236,12 +254,13 @@ def _run(scenario: Scenario, report: RunReport) -> None:
         }
         for rec in profiler.records.values()
     }
-    # plugin_analyzed only fires with REPRO_ANALYSIS=1: like the
-    # plugin:analysis trace event it describes the mode, not the
-    # protocol, so it is exempt from cross-mode parity.
+    # plugin_analyzed / plugin_conflict_report only fire with
+    # REPRO_ANALYSIS=1: like the plugin:analysis trace event they
+    # describe the mode, not the protocol, so they are exempt from
+    # cross-mode parity.
     report.protoop_runs = {
         name: count for name, count in profiler.protoop_runs().items()
-        if name != "plugin_analyzed"
+        if name not in ("plugin_analyzed", "plugin_conflict_report")
     }
     report.metric_counters = {
         name: registry.get(name).value
@@ -260,10 +279,11 @@ def _run(scenario: Scenario, report: RunReport) -> None:
         except SchemaError as exc:
             report.schema_errors.append(str(exc))
         if (event.category not in _NONDETERMINISTIC_TRACE_CATEGORIES
-                and event.name != "analysis"):
-            # plugin:analysis describes the mode itself (it only fires
-            # with REPRO_ANALYSIS=1), so it is exempt from cross-mode
-            # trace parity along with the wall-clock profiler rows.
+                and event.name not in ("analysis", "conflict_report")):
+            # plugin:analysis and plugin:conflict_report describe the
+            # mode itself (they only fire with REPRO_ANALYSIS=1), so they
+            # are exempt from cross-mode trace parity along with the
+            # wall-clock profiler rows.
             deterministic.append(record)
     report.trace_digest = hashlib.sha256(
         json.dumps(deterministic, sort_keys=True).encode()).hexdigest()

@@ -59,6 +59,20 @@ def smoke_suite() -> List[Scenario]:
             seed=13,
         ),
         Scenario(
+            # A deliberately conflicting plugin pair: both replace the
+            # same protoop, so the second must be rejected at attach time
+            # — by the conflict analyzer (PRE200) in analysis modes, by
+            # the protoop table otherwise.  The parity oracles check the
+            # rejected set (and everything else) is identical in all 8
+            # kill-switch modes: the checker changes diagnostics, never
+            # semantics.
+            name="conflict-pair-rejected",
+            workload=Workload(size=16_000),
+            topology=Topology(d_ms=10.0, bw_mbps=20.0),
+            plugins=("monitoring", "x-conflict-a", "x-conflict-b"),
+            seed=37,
+        ),
+        Scenario(
             name="nat-rebind",
             workload=Workload(size=24_000),
             topology=Topology(kind="nat", d_ms=10.0, bw_mbps=10.0),

@@ -25,6 +25,7 @@ from __future__ import annotations
 from typing import Any, Callable, Optional
 
 from repro.errors import TransportError, TransportErrorCode
+from repro.vm.analysis import HelperEffect
 from repro.vm.interpreter import MemoryViolation
 
 # Helper ids (CALL immediates).
@@ -178,6 +179,33 @@ FIELD_TABLE: dict[int, FieldSpec] = {
     FLD_ACK_NEEDED: FieldSpec(
         "ack_needed", lambda c, i: int(_path(c, i).space.ack_needed)
     ),
+}
+
+#: Field id -> stable field name, for conflict-report diagnostics.
+FIELD_NAMES = {fid: spec.name for fid, spec in FIELD_TABLE.items()}
+
+#: Declarative effect metadata for the core helper table: what each
+#: helper does to shared host state.  ``field_arg`` is the 0-based
+#: argument index (0 = r1) carrying the field id; the effect-summary
+#: analysis (:mod:`repro.vm.analysis.summaries`) resolves it from the
+#: interval domain when it is statically constant.
+HELPER_EFFECTS: dict[int, HelperEffect] = {
+    H_GET: HelperEffect("get", field_arg=0),
+    H_SET: HelperEffect("set", field_arg=0, writes_field=True),
+    H_PL_MALLOC: HelperEffect("pl_malloc"),
+    H_PL_FREE: HelperEffect("pl_free"),
+    H_GET_OPAQUE_DATA: HelperEffect("get_opaque_data"),
+    H_PL_MEMCPY: HelperEffect("pl_memcpy"),
+    H_PL_MEMSET: HelperEffect("pl_memset"),
+    H_RUN_PROTOOP: HelperEffect("plugin_run_protoop",
+                                triggers_protoop=True),
+    H_RESERVE_FRAME: HelperEffect("reserve_frames"),
+    H_GET_INPUT: HelperEffect("get_input"),
+    H_INPUT_LEN: HelperEffect("input_len"),
+    H_READ_INPUT_BYTES: HelperEffect("read_input_bytes"),
+    H_WRITE_INPUT_BYTES: HelperEffect("write_input_bytes"),
+    H_PUSH_MESSAGE: HelperEffect("push_message"),
+    H_GET_TIME_US: HelperEffect("get_time_us"),
 }
 
 

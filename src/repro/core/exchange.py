@@ -44,7 +44,7 @@ from repro.secure.validator import SignedTreeRoot
 from .cache import PluginCache
 from .containment import PluginQuarantined
 from .plugin import Plugin
-from .protoop import Anchor
+from .protoop import Anchor, ProtoopError
 
 PLUGIN_VALIDATE_TYPE = 0x60
 PLUGIN_PROOF_TYPE = 0x61
@@ -384,9 +384,11 @@ class PluginExchanger:
                 if self.auto_inject:
                     try:
                         self.inject_local(name)
-                    except PluginQuarantined as exc:
-                        # Crash-looping plugin: proceed without it rather
-                        # than failing the negotiation.
+                    except (PluginQuarantined, ProtoopError) as exc:
+                        # Crash-looping plugin, or one the conflict
+                        # analyzer / protoop table found incompatible with
+                        # the already-attached set: proceed without it
+                        # rather than failing the negotiation.
                         self.degraded[name] = str(exc)
                         self._emit("plugin_exchange_degraded", name, str(exc))
             else:

@@ -23,7 +23,13 @@ from typing import Any, Callable, Optional
 
 from repro.errors import TransportError, TransportErrorCode
 from repro.quic.wire import Buffer
-from repro.vm.analysis import analysis_enabled_by_env, analyze_plugin
+from repro.vm.analysis import (
+    Severity,
+    analysis_enabled_by_env,
+    analyze_plugin,
+    check_conflicts,
+    summarize_plugin,
+)
 from repro.vm.compiler import compile_pluglet
 from repro.vm.interpreter import (
     DEFAULT_FUEL,
@@ -35,7 +41,7 @@ from repro.vm.interpreter import (
 )
 from repro.vm.isa import decode_program, encode_program
 from repro.vm.jit import create_vm
-from repro.vm.verifier import VerificationError, verify
+from repro.vm.analysis import VerificationError, verify
 
 from .api import CORE_HELPER_NAMES, ApiViolation, InvocationContext, PluginApi
 from .memory import BlockAllocator
@@ -86,12 +92,19 @@ class Pluglet:
     #: and helper calls.  Part of the manifest, hence of the §3.1 binding.
     fuel: int = 0
     helper_budget: int = 0
+    #: Protoops this pluglet may invoke through ``plugin_run_protoop``.
+    #: Declared in the manifest because trigger targets are resolved by
+    #: runtime-assigned ids, hence statically unknowable from bytecode;
+    #: the conflict analyzer builds its cross-plugin call graph from this
+    #: (and flags undeclared use of the helper as a wildcard, PRE204).
+    triggers: tuple = ()
 
     def __post_init__(self):
         if self.anchor not in _ANCHORS:
             raise ValueError(f"unknown anchor {self.anchor!r}")
         if self.fuel < 0 or self.helper_budget < 0:
             raise ValueError("budgets must be >= 0 (0 = host default)")
+        self.triggers = tuple(self.triggers)
 
     @property
     def bytecode(self) -> bytes:
@@ -108,6 +121,7 @@ class Pluglet:
         param: Any = None,
         fuel: int = 0,
         helper_budget: int = 0,
+        triggers: tuple = (),
     ) -> "Pluglet":
         """Compile restricted-Python source into a pluglet (the paper's
         C-to-eBPF step)."""
@@ -122,6 +136,7 @@ class Pluglet:
             param=param,
             fuel=fuel,
             helper_budget=helper_budget,
+            triggers=triggers,
         )
 
 
@@ -142,6 +157,7 @@ class Plugin:
         #: Optional hook: (conn) -> None registering new frame codecs.
         self.frame_registrar = frame_registrar
         self._analysis: Optional[dict] = None
+        self._effects = None
 
     # --- serialization (the §3.1 binding) -------------------------------
 
@@ -165,6 +181,9 @@ class Plugin:
                 buf.push_varint_prefixed_bytes(str(p.param).encode("utf-8"))
             buf.push_varint(p.fuel)
             buf.push_varint(p.helper_budget)
+            buf.push_varint(len(p.triggers))
+            for trigger in p.triggers:
+                buf.push_varint_prefixed_bytes(trigger.encode("utf-8"))
             buf.push_varint_prefixed_bytes(p.bytecode)
         return buf.data()
 
@@ -188,10 +207,15 @@ class Plugin:
                 param = buf.pull_varint_prefixed_bytes().decode("utf-8")
             fuel = buf.pull_varint()
             helper_budget = buf.pull_varint()
+            triggers = tuple(
+                buf.pull_varint_prefixed_bytes().decode("utf-8")
+                for _ in range(buf.pull_varint())
+            )
             bytecode = buf.pull_varint_prefixed_bytes()
             pluglets.append(Pluglet(pname, protoop, anchor,
                                     decode_program(bytecode), param,
-                                    fuel=fuel, helper_budget=helper_budget))
+                                    fuel=fuel, helper_budget=helper_budget,
+                                    triggers=triggers))
         host_helpers, frame_registrar = _resolve_host_hooks(name)
         return cls(name, pluglets, memory_size=memory_size,
                    host_helpers=host_helpers, frame_registrar=frame_registrar)
@@ -224,6 +248,16 @@ class Plugin:
         if self._analysis is None:
             self._analysis = analyze_plugin(self)
         return self._analysis
+
+    def effect_summaries(self):
+        """Per-pluglet effect summaries (fields read/written, helpers,
+        declared triggers) for the inter-plugin conflict analyzer.
+        Cached for the same reason as :meth:`analyze_all`."""
+        if self._effects is None:
+            from .api import HELPER_EFFECTS
+
+            self._effects = summarize_plugin(self, HELPER_EFFECTS)
+        return self._effects
 
     def stats(self) -> dict:
         """Table-2 style statistics."""
@@ -436,6 +470,7 @@ class PluginInstance:
         back (§2.2)."""
         if self.attached:
             return
+        conflicts = self._check_conflicts()
         try:
             if self.plugin.frame_registrar is not None:
                 self.plugin.frame_registrar(self.conn)
@@ -448,6 +483,48 @@ class PluginInstance:
         self.conn.plugins[self.plugin.name] = self
         self.conn.protoops.run(self.conn, "plugin_injected", None, self.plugin.name)
         self._emit_analysis_event()
+        self._emit_conflict_event(conflicts)
+
+    def _check_conflicts(self) -> list:
+        """Attach-time inter-plugin compatibility check: the incoming
+        plugin's effect summaries against the already-attached set.  An
+        error-severity conflict (``PRE200``/``PRE203``) rejects the plugin
+        before anything is registered; warnings ride along in the
+        ``plugin:conflict_report`` event.  Disabled (with the rest of the
+        attach-time analysis) by ``REPRO_ANALYSIS=0`` — hard collisions
+        are still caught by the protoop table at registration time, so
+        the rejection outcome is mode-independent."""
+        if not self.analysis_reports:
+            return []
+        from .api import FIELD_NAMES
+
+        attached = [
+            instance.plugin.effect_summaries()
+            for instance in self.conn.plugins.values()
+            if instance is not self
+        ]
+        diags = check_conflicts(attached, self.plugin.effect_summaries(),
+                                FIELD_NAMES)
+        errors = [d for d in diags if d.severity is Severity.ERROR]
+        if errors:
+            raise ProtoopError(
+                TransportErrorCode.PLUGIN_VALIDATION_FAILED,
+                f"plugin {self.plugin.name} conflicts with attached set: "
+                f"{errors[0].rule}: {errors[0].message}",
+            )
+        return diags
+
+    def _emit_conflict_event(self, conflicts: list) -> None:
+        """Surface the (non-fatal) compatibility report as a protoop event
+        (traced as ``plugin:conflict_report``)."""
+        if not conflicts:
+            return
+        table = self.conn.protoops
+        if not table.exists("plugin_conflict_report"):
+            table.declare("plugin_conflict_report")
+        rules = ",".join(sorted({d.rule for d in conflicts}))
+        table.run(self.conn, "plugin_conflict_report", None,
+                  self.plugin.name, len(conflicts), rules)
 
     def _emit_analysis_event(self) -> None:
         """Surface the attach-time static analysis as a protoop event

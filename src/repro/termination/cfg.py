@@ -1,123 +1,17 @@
-"""Control-flow graphs over PRE bytecode.
+"""Thin re-export of the unified control-flow graph.
 
-The termination checker (§5) needs the loop structure of a pluglet: basic
-blocks, edges, natural loops and the registers/stack slots each loop
-modifies.
+The termination checker historically carried its own 123-line CFG; it
+now shares the analysis package's implementation
+(:mod:`repro.vm.analysis.cfg`), which adds exact reachability, natural
+loops, topological ordering and per-loop instruction enumeration.  This
+module keeps the old import path (``repro.termination.cfg``) working.
+
+Interface notes for old callers: ``back_edges`` is a property (was a
+method) and ``natural_loop`` returns a frozenset (was a set).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional
+from repro.vm.analysis.cfg import BasicBlock, ControlFlowGraph, build_cfg
 
-from repro.vm.isa import (
-    JMP_IMM_OPS,
-    JMP_REG_OPS,
-    JUMP_OPS,
-    Instruction,
-    Op,
-)
-
-
-@dataclass
-class BasicBlock:
-    start: int                 # pc of the first instruction
-    end: int                   # pc one past the last instruction
-    successors: list = field(default_factory=list)
-
-    def __hash__(self) -> int:
-        return hash(self.start)
-
-
-class ControlFlowGraph:
-    """Basic blocks and edges of one pluglet."""
-
-    def __init__(self, instructions: list):
-        self.instructions = instructions
-        self.blocks: dict[int, BasicBlock] = {}
-        self._build()
-
-    def _build(self) -> None:
-        n = len(self.instructions)
-        leaders = {0}
-        for pc, ins in enumerate(self.instructions):
-            if ins.opcode in JUMP_OPS:
-                leaders.add(pc + 1 + ins.offset)
-                if pc + 1 < n:
-                    leaders.add(pc + 1)
-            elif ins.opcode is Op.EXIT and pc + 1 < n:
-                leaders.add(pc + 1)
-        ordered = sorted(l for l in leaders if 0 <= l < n)
-        for i, start in enumerate(ordered):
-            end = ordered[i + 1] if i + 1 < len(ordered) else n
-            self.blocks[start] = BasicBlock(start=start, end=end)
-        for block in self.blocks.values():
-            last = self.instructions[block.end - 1]
-            if last.opcode is Op.EXIT:
-                continue
-            if last.opcode in JUMP_OPS:
-                target = block.end - 1 + 1 + last.offset
-                block.successors.append(target)
-                if last.opcode is not Op.JA:
-                    block.successors.append(block.end)
-            else:
-                block.successors.append(block.end)
-        # Clamp fall-through beyond the program.
-        for block in self.blocks.values():
-            block.successors = [s for s in block.successors if s in self.blocks]
-
-    # ------------------------------------------------------------------
-
-    def back_edges(self) -> list:
-        """(from_block, to_block) pairs forming loops (DFS back edges)."""
-        back = []
-        color: dict[int, int] = {}
-
-        def dfs(start: int) -> None:
-            stack = [(start, iter(self.blocks[start].successors))]
-            color[start] = 1
-            while stack:
-                node, it = stack[-1]
-                advanced = False
-                for succ in it:
-                    state = color.get(succ, 0)
-                    if state == 1:
-                        back.append((node, succ))
-                    elif state == 0:
-                        color[succ] = 1
-                        stack.append((succ, iter(self.blocks[succ].successors)))
-                        advanced = True
-                        break
-                if not advanced:
-                    color[node] = 2
-                    stack.pop()
-
-        dfs(0)
-        return back
-
-    def natural_loop(self, tail: int, head: int) -> set:
-        """Blocks of the natural loop for the back edge tail->head."""
-        preds: dict[int, list] = {b: [] for b in self.blocks}
-        for block in self.blocks.values():
-            for succ in block.successors:
-                preds[succ].append(block.start)
-        loop = {head, tail}
-        stack = [tail]
-        while stack:
-            node = stack.pop()
-            if node == head:
-                continue
-            for p in preds[node]:
-                if p not in loop:
-                    loop.add(p)
-                    stack.append(p)
-        return loop
-
-    def loop_instructions(self, loop_blocks: set) -> list:
-        """(pc, instruction) pairs inside a loop."""
-        out = []
-        for start in sorted(loop_blocks):
-            block = self.blocks[start]
-            for pc in range(block.start, block.end):
-                out.append((pc, self.instructions[pc]))
-        return out
+__all__ = ["BasicBlock", "ControlFlowGraph", "build_cfg"]

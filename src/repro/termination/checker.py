@@ -18,15 +18,20 @@ scale our pluglets need:
 The symbolic core is a tiny linear abstract interpretation: values are
 ``const c``, ``var v + delta`` (v an initial register/slot value) or
 ``unknown``.
+
+A proven :class:`LoopReport` carries the ranking *data* (counter key,
+per-lap delta, stay condition and bound operand), not just prose: the
+fuel certifier (:mod:`repro.vm.analysis.fuelbound`) combines it with the
+interval analysis to bound the loop's trip count statically.
 """
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Any, Dict, FrozenSet, List, Optional, Set, Tuple
 
 from repro.vm.isa import (
+    DST_WRITE_OPS,
     FP_REGISTER,
     JMP_IMM_OPS,
     JMP_REG_OPS,
@@ -43,16 +48,22 @@ CONST = "const"
 VAR = "var"
 UNKNOWN = "unknown"
 
+#: A symbolic value: ``(CONST, value, 0)``, ``(VAR, key, delta)`` with
+#: key ``("r", reg)`` or ``("s", fp_offset)``, or :data:`_UNKNOWN`.
+Sym = Tuple[str, Any, int]
+#: A counter identity: ``("r", reg)`` or ``("s", fp_offset)``.
+VarKey = Tuple[str, int]
 
-def _const(c):
+
+def _const(c: int) -> Sym:
     return (CONST, c & ((1 << 64) - 1), 0)
 
 
-def _var(key, delta=0):
+def _var(key: VarKey, delta: int = 0) -> Sym:
     return (VAR, key, delta)
 
 
-_UNKNOWN = (UNKNOWN, None, 0)
+_UNKNOWN: Sym = (UNKNOWN, None, 0)
 
 
 @dataclass
@@ -61,6 +72,15 @@ class LoopReport:
     proven: bool
     ranking: Optional[str] = None
     reason: str = ""
+    #: Machine-readable ranking (proven loops only): the counter's
+    #: symbolic value at the test, its per-lap delta, the comparison
+    #: under which execution *stays* in the loop, the loop-invariant
+    #: bound operand, and the block whose terminator tests it.
+    counter: Optional[Sym] = None
+    delta: Optional[int] = None
+    stay_op: Optional[Op] = None
+    bound: Optional[Sym] = None
+    cond_block: Optional[int] = None
 
 
 @dataclass
@@ -68,7 +88,7 @@ class TerminationReport:
     """Outcome for one pluglet."""
 
     proven: bool
-    loops: list = field(default_factory=list)
+    loops: List[LoopReport] = field(default_factory=list)
     reason: str = ""
 
     def __bool__(self) -> bool:
@@ -81,10 +101,10 @@ class _State:
     def __init__(self) -> None:
         # Initial symbolic values: registers hold var('r', i); slots are
         # materialized lazily as var('s', off).
-        self.regs = {i: _var(("r", i)) for i in range(11)}
-        self.slots: dict[int, tuple] = {}
+        self.regs: Dict[int, Sym] = {i: _var(("r", i)) for i in range(11)}
+        self.slots: Dict[int, Sym] = {}
 
-    def slot(self, off: int):
+    def slot(self, off: int) -> Sym:
         if off not in self.slots:
             self.slots[off] = _var(("s", off))
         return self.slots[off]
@@ -126,7 +146,7 @@ def _step(state: _State, ins: Instruction) -> None:
             regs[ins.dst] = _UNKNOWN
 
 
-def _add(value, c: int):
+def _add(value: Sym, c: int) -> Sym:
     kind, key, delta = value
     if kind == CONST:
         return _const(key + c)
@@ -135,7 +155,7 @@ def _add(value, c: int):
     return _UNKNOWN
 
 
-def _add_sym(a, b, sign: int):
+def _add_sym(a: Sym, b: Sym, sign: int) -> Sym:
     if b[0] == CONST:
         return _add(a, sign * _signed64(b[1]))
     if a[0] == CONST and b[0] == VAR and sign == 1:
@@ -163,10 +183,10 @@ _SWAP = {
 }
 
 
-def check_termination(instructions: list) -> TerminationReport:
+def check_termination(instructions: List[Instruction]) -> TerminationReport:
     """Try to prove that a pluglet terminates on every input."""
     cfg = ControlFlowGraph(instructions)
-    back = cfg.back_edges()
+    back = cfg.back_edges
     if not back:
         return TerminationReport(proven=True, reason="loop-free")
     reports = []
@@ -184,10 +204,22 @@ def check_termination(instructions: list) -> TerminationReport:
     )
 
 
-def _check_loop(cfg: ControlFlowGraph, head: int, loop_blocks: set,
-                all_back_edges: list) -> LoopReport:
-    # Variables written inside *nested* loops are unusable for this loop.
-    nested_tainted = set()
+@dataclass(frozen=True)
+class _Ranking:
+    text: str
+    counter: Sym
+    delta: int
+    stay_op: Op
+    bound: Sym
+
+
+def _check_loop(cfg: ControlFlowGraph, head: int,
+                loop_blocks: FrozenSet[int],
+                all_back_edges: List[Tuple[int, int]]) -> LoopReport:
+    # Variables written inside *nested* loops are unusable for this loop:
+    # the simple cycle paths below pass through the inner body once, so
+    # its per-lap effect on them is not linear.
+    nested_tainted: Set[VarKey] = set()
     for tail2, head2 in all_back_edges:
         if head2 == head:
             continue
@@ -196,8 +228,12 @@ def _check_loop(cfg: ControlFlowGraph, head: int, loop_blocks: set,
             for _pc, ins in cfg.loop_instructions(inner):
                 if ins.opcode is Op.STXDW and ins.dst == FP_REGISTER:
                     nested_tainted.add(("s", ins.offset))
+                if ins.opcode in DST_WRITE_OPS:
+                    nested_tainted.add(("r", ins.dst))
+                if ins.opcode is Op.CALL:
+                    nested_tainted.add(("r", 0))
 
-    paths = _cycle_paths(cfg, head, loop_blocks)
+    paths = cycle_paths(cfg, head, loop_blocks)
     if paths is None:
         return LoopReport(head=head, proven=False,
                           reason="too many paths through loop")
@@ -206,37 +242,47 @@ def _check_loop(cfg: ControlFlowGraph, head: int, loop_blocks: set,
         return LoopReport(head=head, proven=False, reason="no exit branch")
 
     # A candidate ranking variable must be moved monotonically by every
-    # cycle path; compute per-path deltas for all written slots/registers.
-    candidate_deltas: Optional[dict] = None
+    # cycle path; compute per-path deltas for all written slots and
+    # registers (None = rewritten non-linearly).
+    candidate_deltas: Optional[Dict[VarKey, Optional[int]]] = None
     for path in paths:
         state = _State()
         for block_start in path:
             block = cfg.blocks[block_start]
             for pc in range(block.start, block.end):
                 _step(state, cfg.instructions[pc])
-        deltas = {}
+        deltas: Dict[VarKey, Optional[int]] = {}
         for off, value in state.slots.items():
-            key = ("s", off)
-            if value[0] == VAR and value[1] == key:
-                deltas[key] = value[2]
-            else:
-                deltas[key] = None  # rewritten non-linearly
+            skey: VarKey = ("s", off)
+            deltas[skey] = value[2] if value[0] == VAR and value[1] == skey \
+                else None
+        for reg, value in state.regs.items():
+            rkey: VarKey = ("r", reg)
+            deltas[rkey] = value[2] if value[0] == VAR and value[1] == rkey \
+                else None
         if candidate_deltas is None:
             candidate_deltas = deltas
         else:
-            merged = {}
+            merged: Dict[VarKey, Optional[int]] = {}
             for key in set(candidate_deltas) | set(deltas):
                 a = candidate_deltas.get(key, 0)
                 b = deltas.get(key, 0)
                 merged[key] = a if a == b else None
             candidate_deltas = merged
-    candidate_deltas = candidate_deltas or {}
+    final_deltas: Dict[VarKey, Optional[int]] = candidate_deltas or {}
 
-    for cond_op, left, right in exit_conditions:
-        report = _match_ranking(cond_op, left, right, candidate_deltas,
-                                nested_tainted)
-        if report is not None:
-            return LoopReport(head=head, proven=True, ranking=report)
+    # Prefer the head's own condition: it is tested on every lap, which
+    # is what the fuel certifier needs to turn the ranking into a trip
+    # bound (conditions deeper in the body still prove termination).
+    ordered = sorted(exit_conditions, key=lambda c: c[3] != head)
+    for cond_op, left, right, block_start in ordered:
+        ranking = _match_ranking(cond_op, left, right, final_deltas,
+                                 nested_tainted)
+        if ranking is not None:
+            return LoopReport(head=head, proven=True, ranking=ranking.text,
+                              counter=ranking.counter, delta=ranking.delta,
+                              stay_op=ranking.stay_op, bound=ranking.bound,
+                              cond_block=block_start)
     return LoopReport(
         head=head, proven=False,
         reason="no exit condition over a monotonic counter with an "
@@ -244,9 +290,11 @@ def _check_loop(cfg: ControlFlowGraph, head: int, loop_blocks: set,
     )
 
 
-def _match_ranking(cond_op, left, right, deltas: dict, tainted: set):
+def _match_ranking(cond_op: Op, left: Sym, right: Sym,
+                   deltas: Dict[VarKey, Optional[int]],
+                   tainted: Set[VarKey]) -> Optional[_Ranking]:
     """Does `stay while left <op> right` terminate given the deltas?"""
-    def invariant(value) -> bool:
+    def invariant(value: Sym) -> bool:
         if value[0] == CONST:
             return True
         if value[0] == VAR and value[2] == 0:
@@ -270,20 +318,26 @@ def _match_ranking(cond_op, left, right, deltas: dict, tainted: set):
         if not invariant(b):
             continue
         if op in (Op.JLT, Op.JLE, Op.JSLT) and delta > 0:
-            return f"{key} increases by {delta} toward bound"
+            return _Ranking(f"{key} increases by {delta} toward bound",
+                            a, delta, op, b)
         if op in (Op.JGT, Op.JGE, Op.JSGT) and delta < 0:
-            return f"{key} decreases by {delta} toward bound"
+            return _Ranking(f"{key} decreases by {delta} toward bound",
+                            a, delta, op, b)
         if op is Op.JNE and abs(delta) == 1 and b[0] == CONST:
-            return f"{key} steps by {delta} to exact bound"
+            return _Ranking(f"{key} steps by {delta} to exact bound",
+                            a, delta, op, b)
     return None
 
 
-def _exit_conditions(cfg: ControlFlowGraph, loop_blocks: set) -> list:
-    """Symbolic (op, left, right) conditions under which the loop *stays*.
+def _exit_conditions(
+        cfg: ControlFlowGraph,
+        loop_blocks: FrozenSet[int]) -> List[Tuple[Op, Sym, Sym, int]]:
+    """Symbolic ``(op, left, right, block)`` conditions under which the
+    loop *stays*.
 
     For each exiting conditional branch we re-execute the block to get the
     symbolic operands at the branch."""
-    out = []
+    out: List[Tuple[Op, Sym, Sym, int]] = []
     for start in loop_blocks:
         block = cfg.blocks[start]
         exits = [s for s in block.successors if s not in loop_blocks]
@@ -308,17 +362,19 @@ def _exit_conditions(cfg: ControlFlowGraph, loop_blocks: set) -> list:
             stay_op = _NEGATE.get(base)
             if stay_op is None:
                 continue
-            out.append((stay_op, left, right))
+            out.append((stay_op, left, right, start))
         else:
-            out.append((base, left, right))
+            out.append((base, left, right, start))
     return out
 
 
-def _cycle_paths(cfg: ControlFlowGraph, head: int, loop_blocks: set):
-    """All simple paths from head back to head inside the loop."""
-    paths = []
+def cycle_paths(cfg: ControlFlowGraph, head: int,
+                loop_blocks: FrozenSet[int]) -> Optional[List[List[int]]]:
+    """All simple paths from head back to head inside the loop, or
+    ``None`` when there are more than :data:`MAX_PATHS`."""
+    paths: List[List[int]] = []
 
-    def walk(node: int, path: list) -> bool:
+    def walk(node: int, path: List[int]) -> bool:
         if len(paths) > MAX_PATHS:
             return False
         for succ in cfg.blocks[node].successors:
@@ -334,3 +390,7 @@ def _cycle_paths(cfg: ControlFlowGraph, head: int, loop_blocks: set):
     if not walk(head, [head]):
         return None
     return paths
+
+
+# Backwards-compatible alias (pre-unification name).
+_cycle_paths = cycle_paths

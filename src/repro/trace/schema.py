@@ -19,7 +19,7 @@ from typing import Optional
 
 #: Bump the minor on additive changes (new events, new optional fields),
 #: the major on anything that breaks an existing consumer.
-TRACE_SCHEMA_VERSION = "repro-trace/1.1"
+TRACE_SCHEMA_VERSION = "repro-trace/1.2"
 
 #: Record types appearing in a JSONL stream.
 RECORD_HEADER = "header"
@@ -164,6 +164,12 @@ EVENT_CATALOG: dict = {
               "diagnostic totals and pluglets proven memory-safe.",
               plugin="str", pluglets="int", errors="int",
               warnings="int", proven="int"),
+        _spec("conflict_report", "plugin",
+              "Attach-time inter-plugin compatibility report: how many "
+              "non-fatal conflicts (write-write, order-sensitive access) "
+              "the incoming plugin has with the attached set, and which "
+              "PRE2xx rules fired.",
+              plugin="str", conflicts="int", rules="str"),
         # --- PRE execution ------------------------------------------------
         _spec("pluglet_profile", "pre",
               "Aggregated PRE execution profile for one pluglet on one "

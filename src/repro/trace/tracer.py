@@ -137,6 +137,11 @@ def _d_analysis(args, result):
             "warnings": warnings, "proven": proven}
 
 
+def _d_conflict(args, result):
+    plugin, conflicts, rules = args
+    return {"plugin": plugin, "conflicts": conflicts, "rules": rules}
+
+
 def _d_path_transition(args, result):
     path, old, new = args
     return {"path": path, "old": old, "new": new}
@@ -168,6 +173,7 @@ HOOKS = {
     "plugin_exchange_completed": ("plugin", "plugin_exchange_completed",
                                   _d_exchange_completed),
     "plugin_analyzed": ("plugin", "analysis", _d_analysis),
+    "plugin_conflict_report": ("plugin", "conflict_report", _d_conflict),
     "path_validation_state_changed": ("connectivity",
                                       "path_validation_state_changed",
                                       _d_path_transition),

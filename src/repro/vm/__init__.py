@@ -38,7 +38,7 @@ from .isa import (
     decode_program,
     encode_program,
 )
-from .verifier import VerificationError, verify, verify_bytecode
+from .analysis.verify import VerificationError, verify, verify_bytecode
 
 __all__ = [
     "AnalysisReport",

@@ -17,10 +17,19 @@ from __future__ import annotations
 
 import os
 
-from .absint import AbstractInterpretation, AbsState, interpret
+from .absint import AbstractInterpretation, AbsState, CallSite, interpret
+from .callgraph import ProtoopCallGraph, TriggerEdge, build_call_graph
 from .cfg import BasicBlock, ControlFlowGraph, build_cfg
+from .conflicts import check_conflicts, check_plugin_set
+from .fuelbound import certify
 from .manifest import analyze_plugin, lint_plugin
-from .report import AnalysisReport, Diagnostic, Severity
+from .report import (
+    AnalysisReport,
+    Diagnostic,
+    FuelCertificate,
+    LoopBound,
+    Severity,
+)
 from .rules import (
     DEFAULT_HEAP_SIZE,
     DEFAULT_MAX_INSTRUCTIONS,
@@ -28,25 +37,50 @@ from .rules import (
     RULES,
     analyze,
 )
+from .summaries import (
+    EffectSummary,
+    HelperEffect,
+    PluginEffects,
+    summarize_plugin,
+    summarize_pluglet,
+)
+from .verify import VerificationError, verify, verify_bytecode
 
 __all__ = [
     "AbsState",
     "AbstractInterpretation",
     "AnalysisReport",
     "BasicBlock",
+    "CallSite",
     "ControlFlowGraph",
     "DEFAULT_HEAP_SIZE",
     "DEFAULT_MAX_INSTRUCTIONS",
     "Diagnostic",
+    "EffectSummary",
+    "FuelCertificate",
+    "HelperEffect",
     "LEGACY_RULES",
+    "LoopBound",
+    "PluginEffects",
+    "ProtoopCallGraph",
     "RULES",
     "Severity",
+    "TriggerEdge",
+    "VerificationError",
     "analysis_enabled_by_env",
     "analyze",
     "analyze_plugin",
+    "build_call_graph",
     "build_cfg",
+    "certify",
+    "check_conflicts",
+    "check_plugin_set",
     "interpret",
     "lint_plugin",
+    "summarize_plugin",
+    "summarize_pluglet",
+    "verify",
+    "verify_bytecode",
 ]
 
 

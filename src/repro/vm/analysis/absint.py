@@ -19,7 +19,7 @@ out-of-bounds / division-by-zero faults, and initialization reads.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Optional, Set, Tuple
 
 from ..interpreter import HEAP_BASE, STACK_BASE
 from ..isa import (
@@ -139,6 +139,30 @@ class PcResult:
         self.definite_div_zero = False
 
 
+class CallSite:
+    """One ``CALL`` instruction with the argument intervals that reach it.
+
+    The helper ABI passes arguments in r1-r5; the intervals are the
+    stable fixpoint values at the call, so a constant interval in
+    ``args[0]`` (r1) statically identifies e.g. the field id a
+    ``plugin_get``/``plugin_set`` helper touches."""
+
+    __slots__ = ("pc", "helper_id", "args")
+
+    def __init__(self, pc: int, helper_id: int,
+                 args: Tuple[Interval, ...]) -> None:
+        self.pc = pc
+        self.helper_id = helper_id
+        self.args = args
+
+    def const_arg(self, index: int) -> Optional[int]:
+        """The exact value of argument ``index`` (0 = r1) when the
+        interval proves it constant, else ``None``."""
+        if 0 <= index < len(self.args):
+            return domain.is_const(self.args[index])
+        return None
+
+
 class AbstractInterpretation:
     """Run the worklist analysis for one program and collect results."""
 
@@ -148,6 +172,8 @@ class AbstractInterpretation:
         self.entry_states: Dict[int, AbsState] = {}
         self.pc_results: Dict[int, PcResult] = {}
         self.helper_ids: Set[int] = set()
+        #: pc -> CallSite, recorded from the stable final pass.
+        self.call_sites: Dict[int, CallSite] = {}
         self._run()
         self._collect()
 
@@ -180,6 +206,18 @@ class AbstractInterpretation:
                 if changed and succ not in queued:
                     work.append(succ)
                     queued.add(succ)
+
+    def block_exit_state(self, start: int) -> Optional[AbsState]:
+        """The abstract state at the *exit* of one block, re-derived from
+        its stable entry state (``None`` for unreachable blocks)."""
+        entry = self.entry_states.get(start)
+        if entry is None:
+            return None
+        state = entry.copy()
+        block = self.cfg.blocks[start]
+        for pc in range(block.start, block.end):
+            self._transfer(self.cfg.instructions[pc], pc, state, None)
+        return state
 
     def _collect(self) -> None:
         for start in sorted(self.entry_states):
@@ -247,6 +285,9 @@ class AbstractInterpretation:
             # slot values become unknown (their init-ness is preserved:
             # writes never un-initialize).
             self.helper_ids.add(ins.imm)
+            if res is not None:
+                self.call_sites[pc] = CallSite(
+                    pc, ins.imm, tuple(st.regs[1:6]))
             self._write(0, TOP, st)
             st.slots.clear()
             return

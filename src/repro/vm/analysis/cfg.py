@@ -193,6 +193,17 @@ class ControlFlowGraph:
                     work.append(p)
         return frozenset(loop)
 
+    def loop_instructions(
+            self, loop_blocks: Iterable[int]) -> List[Tuple[int, Instruction]]:
+        """``(pc, instruction)`` pairs of the given loop body, in program
+        order (used by the termination checker and fuel certifier)."""
+        out: List[Tuple[int, Instruction]] = []
+        for start in sorted(loop_blocks):
+            block = self.blocks[start]
+            for pc in range(block.start, block.end):
+                out.append((pc, self.instructions[pc]))
+        return out
+
     def loops(self) -> Dict[int, FrozenSet[int]]:
         """Natural loops keyed by header block (merged per header)."""
         merged: Dict[int, Set[int]] = {}

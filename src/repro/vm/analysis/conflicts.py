@@ -1,0 +1,181 @@
+"""Inter-plugin conflict catalog (rules ``PRE200``–``PRE204``).
+
+Each plugin can pass the per-pluglet analyzer in isolation and still
+collide with another plugin once both attach to the same connection.
+Given effect summaries (:mod:`.summaries`) for a plugin *set*, this
+module detects the composition hazards:
+
+========  ========  =====================================================
+rule      severity  meaning
+========  ========  =====================================================
+PRE200    error     two plugins replace the same protoop (same param)
+PRE201    warning   two plugins write the same host field
+PRE202    warning   attach-order-sensitive read-after-write: same anchor
+                    chain, one plugin reads a field another writes
+PRE203    error     cross-plugin protoop trigger cycle (mutual recursion)
+PRE204    warning   bytecode reaches plugin_run_protoop with no declared
+                    triggers (wildcard: call graph unknowable)
+========  ========  =====================================================
+
+The entry points mirror attach-time semantics: an *incoming* plugin is
+checked against the already-attached set, so every conflict is reported
+exactly once, on the plugin that completes it.  ``PRE201``/``PRE202``
+are warnings, not errors — e.g. the bundled ``ecn`` and ``ccontrol``
+plugins both legitimately write the congestion window; the report makes
+the hazard visible without forbidding deliberate composition.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple, Union
+
+from .callgraph import ProtoopCallGraph
+from .report import Diagnostic, Severity
+from .summaries import EffectSummary, PluginEffects
+
+#: Anchors that take over a protoop: a second one is a hard collision.
+_REPLACING_ANCHORS = ("replace", "external")
+
+
+def _field_label(fid: int,
+                 field_names: Optional[Mapping[int, str]]) -> str:
+    if field_names and fid in field_names:
+        return f"{field_names[fid]} (0x{fid:02x})"
+    return f"0x{fid:02x}"
+
+
+def _param_label(param: Union[int, str, None]) -> str:
+    if param is None:
+        return ""
+    if isinstance(param, int):
+        return f"[0x{param:02x}]"
+    return f"[{param}]"
+
+
+def check_conflicts(
+    attached: Sequence[PluginEffects],
+    incoming: PluginEffects,
+    field_names: Optional[Mapping[int, str]] = None,
+) -> List[Diagnostic]:
+    """Conflicts created by attaching ``incoming`` on top of ``attached``.
+
+    Returns plain diagnostics (never raises); an error-severity entry
+    means the composition is rejected under attach-time policy."""
+    diags: List[Diagnostic] = []
+
+    # PRE204 — wildcard triggers make the rest of the analysis partial;
+    # reported for the incoming plugin only, once per pluglet.
+    for summary in incoming.summaries:
+        if summary.calls_run_protoop and not summary.triggers:
+            diags.append(Diagnostic(
+                "PRE204", Severity.WARNING,
+                f"pluglet calls plugin_run_protoop but declares no "
+                f"triggers; its effect on the protoop call graph is "
+                f"unknowable (plugin {incoming.plugin})",
+                pluglet=summary.pluglet))
+
+    for other in attached:
+        diags.extend(_pairwise(other, incoming, field_names))
+
+    # PRE203 — trigger cycles need the whole set; blame the plugin that
+    # closes the cycle (the incoming one).
+    graph = ProtoopCallGraph(list(attached) + [incoming])
+    for cycle in graph.cycles():
+        plugins = graph.cycle_plugins(cycle)
+        if incoming.plugin not in plugins:
+            continue  # pre-existing cycle, reported when it was closed
+        chain = " -> ".join(cycle + (cycle[0],))
+        diags.append(Diagnostic(
+            "PRE203", Severity.ERROR,
+            f"protoop trigger cycle {chain} spans plugins "
+            f"{', '.join(plugins)}: unbounded mutual recursion"))
+    return diags
+
+
+def _pairwise(a: PluginEffects, b: PluginEffects,
+              field_names: Optional[Mapping[int, str]]) -> List[Diagnostic]:
+    diags: List[Diagnostic] = []
+
+    # PRE200 — replace-vs-replace on the same (protoop, param).
+    replaced: Dict[Tuple[str, Union[int, str, None]], EffectSummary] = {}
+    for sa in a.summaries:
+        if sa.anchor in _REPLACING_ANCHORS:
+            replaced[(sa.protoop, sa.param)] = sa
+    for sb in b.summaries:
+        if sb.anchor not in _REPLACING_ANCHORS:
+            continue
+        sa = replaced.get((sb.protoop, sb.param))
+        if sa is not None:
+            diags.append(Diagnostic(
+                "PRE200", Severity.ERROR,
+                f"plugins {a.plugin} and {b.plugin} both replace protoop "
+                f"{sb.protoop}{_param_label(sb.param)}",
+                pluglet=sb.pluglet))
+
+    # PRE201 — both plugins write the same host field (any anchor).
+    writes_a: Dict[int, str] = {}
+    wildcard_a: Optional[str] = None
+    for sa in a.summaries:
+        for fid in sa.fields_written:
+            writes_a.setdefault(fid, sa.pluglet)
+        if sa.unknown_writes and wildcard_a is None:
+            wildcard_a = sa.pluglet
+    seen_fields: Set[Union[int, str]] = set()
+    for sb in b.summaries:
+        fields = list(sb.fields_written)
+        for fid in fields:
+            if fid in writes_a and fid not in seen_fields:
+                seen_fields.add(fid)
+                diags.append(Diagnostic(
+                    "PRE201", Severity.WARNING,
+                    f"plugins {a.plugin} and {b.plugin} both write field "
+                    f"{_field_label(fid, field_names)}; the composed "
+                    f"behavior depends on interleaving",
+                    pluglet=sb.pluglet))
+        if wildcard_a is not None and (fields or sb.unknown_writes) \
+                and "wildcard" not in seen_fields:
+            seen_fields.add("wildcard")
+            diags.append(Diagnostic(
+                "PRE201", Severity.WARNING,
+                f"plugin {a.plugin} writes a statically unknown field; "
+                f"it may collide with writes of {b.plugin}",
+                pluglet=sb.pluglet))
+
+    # PRE202 — same protoop, same anchor position, one reads what the
+    # other writes: the outcome depends on attach order.
+    for sa in a.summaries:
+        if sa.anchor not in ("pre", "post"):
+            continue
+        for sb in b.summaries:
+            if sb.anchor != sa.anchor or sb.protoop != sa.protoop:
+                continue
+            hazards: List[Tuple[int, str, str]] = []
+            for fid in sb.fields_read:
+                if sa.writes_field(fid):
+                    hazards.append((fid, a.plugin, b.plugin))
+            for fid in sb.fields_written:
+                if sa.reads_field(fid):
+                    hazards.append((fid, b.plugin, a.plugin))
+            for fid, writer, reader in hazards:
+                diags.append(Diagnostic(
+                    "PRE202", Severity.WARNING,
+                    f"order-sensitive access to field "
+                    f"{_field_label(fid, field_names)} in the "
+                    f"{sa.anchor}-chain of {sa.protoop}: {writer} writes "
+                    f"what {reader} reads, so behavior depends on attach "
+                    f"order",
+                    pluglet=sb.pluglet))
+    return diags
+
+
+def check_plugin_set(
+    plugin_effects: Sequence[PluginEffects],
+    field_names: Optional[Mapping[int, str]] = None,
+) -> List[Diagnostic]:
+    """Conflicts across a whole plugin set (lint/CI entry point):
+    equivalent to attaching the plugins one by one in order."""
+    diags: List[Diagnostic] = []
+    for i, incoming in enumerate(plugin_effects):
+        diags.extend(check_conflicts(plugin_effects[:i], incoming,
+                                     field_names))
+    return diags

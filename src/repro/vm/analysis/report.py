@@ -61,6 +61,39 @@ class Diagnostic:
 MemFacts = Dict[int, str]
 
 
+@dataclass(frozen=True)
+class LoopBound:
+    """Proven iteration bound for one natural loop."""
+
+    head: int  # pc of the loop-head block
+    trips: int  # worst-case iterations per invocation
+    ranking: str  # human-readable ranking-function description
+
+
+@dataclass(frozen=True)
+class FuelCertificate:
+    """Static proof of a worst-case fuel bound for a *loopy* program.
+
+    Loop-free programs get their bound from the CFG's longest path; this
+    certificate extends the proof to programs with loops by combining
+    the termination checker's ranking functions with the interval
+    analysis: each loop's trip count is bounded, so total fuel is the
+    acyclic longest path plus every loop's trips x worst-case lap cost.
+    When the bound fits the runtime budget the JIT can elide batched
+    fuel checks entirely — the certificate changes performance, never
+    semantics."""
+
+    fuel_bound: int
+    helper_bound: int
+    loops: Tuple[LoopBound, ...] = ()
+
+    def describe(self) -> str:
+        laps = ", ".join(f"loop@{lb.head}<={lb.trips} ({lb.ranking})"
+                         for lb in self.loops)
+        return (f"fuel<={self.fuel_bound} helpers<={self.helper_bound}"
+                f" [{laps}]")
+
+
 @dataclass
 class AnalysisReport:
     """Everything the analyzer learned about one program."""
@@ -74,10 +107,13 @@ class AnalysisReport:
     memory_safe: bool = False
     #: True when the CFG has no cycle among reachable blocks.
     loop_free: bool = False
-    #: Worst-case instructions per invocation (loop-free programs only).
+    #: Worst-case instructions per invocation (from the loop-free DAG
+    #: bound, or from a loop certificate when one was proven).
     fuel_bound: Optional[int] = None
-    #: Worst-case helper calls per invocation (loop-free programs only).
+    #: Worst-case helper calls per invocation (same provenance).
     helper_bound: Optional[int] = None
+    #: Loop-trip-count proof backing the bounds of a loopy program.
+    fuel_certificate: Optional[FuelCertificate] = None
     #: pc -> "stack" | "heap" for individually proven memory accesses.
     mem_facts: MemFacts = field(default_factory=dict)
     #: Helper ids the program may call.
@@ -113,5 +149,6 @@ class AnalysisReport:
             "loop_free": self.loop_free,
             "fuel_bound": self.fuel_bound,
             "helper_bound": self.helper_bound,
+            "fuel_certified": self.fuel_certificate is not None,
             "proven_accesses": len(self.mem_facts),
         }

@@ -32,7 +32,9 @@ PRE108    error     divisor register is provably always zero
 PRE109    warning   execution can run past the end of the program
 ========  ========  =====================================================
 
-(Manifest-level rules ``PRE110``–``PRE113`` live in :mod:`.manifest`.)
+(Manifest-level rules ``PRE110``–``PRE113`` live in :mod:`.manifest`;
+the inter-plugin conflict rules ``PRE200``–``PRE204`` live in
+:mod:`.conflicts`.)
 """
 
 from __future__ import annotations
@@ -54,6 +56,7 @@ from ..isa import (
 )
 from .absint import AbstractInterpretation
 from .cfg import ControlFlowGraph
+from .fuelbound import certify
 from .report import AnalysisReport, Severity
 
 #: Default heap size assumed for memory proofs; matches
@@ -90,6 +93,11 @@ RULES: Dict[str, Tuple[str, Severity]] = {
     "PRE111": ("unknown protocol operation", Severity.WARNING),
     "PRE112": ("unknown anchor", Severity.ERROR),
     "PRE113": ("unknown helper id", Severity.WARNING),
+    "PRE200": ("cross-plugin replace collision", Severity.ERROR),
+    "PRE201": ("cross-plugin write-write hazard", Severity.WARNING),
+    "PRE202": ("order-sensitive cross-plugin access", Severity.WARNING),
+    "PRE203": ("cross-plugin trigger cycle", Severity.ERROR),
+    "PRE204": ("undeclared protoop trigger", Severity.WARNING),
 }
 
 #: The §2.1 checks: ``verify()`` raises on the first of these, in the
@@ -327,6 +335,14 @@ def _facts(cfg: ControlFlowGraph, absint: AbstractInterpretation,
             cfg, lambda b: sum(
                 1 for pc in range(cfg.blocks[b].start, cfg.blocks[b].end)
                 if instructions[pc].opcode is Op.CALL))
+    elif report.ok:
+        # Loopy programs can still get a static bound when every loop's
+        # trip count is certified (termination ranking + intervals).
+        certificate = certify(cfg, absint)
+        if certificate is not None:
+            report.fuel_certificate = certificate
+            report.fuel_bound = certificate.fuel_bound
+            report.helper_bound = certificate.helper_bound
 
 
 def _longest_path(cfg: ControlFlowGraph,

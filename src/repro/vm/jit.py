@@ -43,8 +43,11 @@ program, ``compile_jit`` accepts its report as ``proof`` and emits a
 
 * a memory access proven to always land in one region loses the inlined
   two-region monitor and indexes the buffer directly;
-* a loop-free program with a worst-case ``fuel_bound`` keeps its exact
-  ``_fuel -= k`` accounting but drops every exhaustion *check*;
+* a program with a worst-case ``fuel_bound`` keeps its exact
+  ``_fuel -= k`` accounting but drops every exhaustion *check* — the
+  bound comes from loop-freedom or, for looping programs, from a static
+  fuel certificate (:mod:`repro.vm.analysis.fuelbound`: proven trip
+  counts x per-lap cost, recorded in the analysis report);
 * likewise the helper-call budget check when ``helper_bound`` is proven.
 
 Eliding a budget check is only equivalent when the budget cannot be hit,

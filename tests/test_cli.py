@@ -135,3 +135,59 @@ def test_lint_good_corpus_passes(capsys):
 def test_lint_unknown_target_is_usage_error(capsys):
     code, _out = run_cli(capsys, "lint", "no-such-plugin")
     assert code == 2
+
+
+def test_lint_conflicting_pair_file_fails(capsys):
+    from pathlib import Path
+
+    pair = Path(__file__).parent / "corpus" / "pairs" / "replace_collision.json"
+    code, out = run_cli(capsys, "lint", str(pair))
+    assert code == 1
+    assert "PRE200" in out
+
+
+def test_lint_trigger_cycle_pair_file_fails(capsys):
+    from pathlib import Path
+
+    pair = Path(__file__).parent / "corpus" / "pairs" / "trigger_cycle.json"
+    code, out = run_cli(capsys, "lint", str(pair))
+    assert code == 1
+    assert "PRE203" in out
+
+
+def test_lint_compatible_pair_file_passes(capsys):
+    from pathlib import Path
+
+    pair = Path(__file__).parent / "corpus" / "pairs" / "compatible.json"
+    code, out = run_cli(capsys, "lint", str(pair))
+    assert code == 0
+    assert "0 error(s)" in out
+
+
+def test_lint_fuel_exceeds_pair_warns_pre110(capsys):
+    from pathlib import Path
+
+    pair = Path(__file__).parent / "corpus" / "pairs" / "fuel_exceeds.json"
+    code, out = run_cli(capsys, "lint", str(pair))
+    assert code == 0  # warning by default...
+    assert "PRE110" in out
+    strict_code, _ = run_cli(capsys, "lint", "--strict", str(pair))
+    assert strict_code == 1  # ...blocking under --strict
+
+
+def test_lint_multiple_named_plugins_cross_checked(capsys):
+    # Two FEC variants replace the same protoops by design: naming them
+    # together must surface the hard conflict the no-argument form
+    # (which lints builtins individually) deliberately tolerates.
+    code, out = run_cli(capsys, "lint", "fec-xor", "fec-rlc")
+    assert code == 1
+    assert "PRE200" in out
+
+
+def test_lint_deployable_set_has_no_hard_conflicts(capsys):
+    code, out = run_cli(capsys, "lint", "monitoring", "ccontrol", "ecn",
+                        "datagram", "multipath", "fec-xor")
+    assert code == 0
+    # The known deliberate composition (ecn + ccontrol both write the
+    # congestion window) stays visible as a warning.
+    assert "PRE201" in out

@@ -123,6 +123,23 @@ def test_jit_divergent_plugin_is_caught():
     assert "cross-mode-bytes" not in oracles
 
 
+def test_conflicting_pair_rejected_identically_across_modes():
+    # The second conflict plugin must be rejected whether the static
+    # conflict checker (A1) or the protoop table's "already replaced"
+    # check (A0) does it — the mode-parity oracle compares the
+    # plugins_rejected lists, so a mode-dependent rejection would fail.
+    scenario = tiny_suite()[0].with_(
+        name="tiny-conflict",
+        plugins=("monitoring", "x-conflict-a", "x-conflict-b"))
+    modes = (conf.Mode(), conf.Mode(analysis=False))
+    verdict = conf.run_conformance(scenario, modes=modes,
+                                   transparency=False)
+    assert verdict.passed, [f.format() for f in verdict.failures]
+    for mode in modes:
+        report = verdict.reports[mode.name]
+        assert report.plugins_rejected == ["x-conflict-b"]
+
+
 def test_repro_file_roundtrip(tmp_path):
     scenario = tiny_suite()[0]
     path = tmp_path / "case.repro.json"

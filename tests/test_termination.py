@@ -10,7 +10,7 @@ class TestCfg:
     def test_straight_line_single_block(self):
         cfg = ControlFlowGraph(assemble("mov r0, 1\nadd r0, 2\nexit"))
         assert len(cfg.blocks) == 1
-        assert cfg.back_edges() == []
+        assert cfg.back_edges == []
 
     def test_branch_makes_blocks(self):
         cfg = ControlFlowGraph(assemble("""
@@ -20,7 +20,7 @@ class TestCfg:
             exit
         """))
         assert len(cfg.blocks) == 3
-        assert cfg.back_edges() == []
+        assert cfg.back_edges == []
 
     def test_loop_detected(self):
         cfg = ControlFlowGraph(assemble("""
@@ -29,11 +29,11 @@ class TestCfg:
             jne r1, 0, top
             exit
         """))
-        assert len(cfg.back_edges()) == 1
+        assert len(cfg.back_edges) == 1
 
     def test_self_loop(self):
         cfg = ControlFlowGraph(assemble("top:\nja top\nexit"))
-        assert len(cfg.back_edges()) == 1
+        assert len(cfg.back_edges) == 1
 
     def test_natural_loop_members(self):
         cfg = ControlFlowGraph(assemble("""
@@ -43,7 +43,7 @@ class TestCfg:
             jne r1, 0, top
             exit
         """))
-        tail, head = cfg.back_edges()[0]
+        tail, head = cfg.back_edges[0]
         loop = cfg.natural_loop(tail, head)
         assert head in loop
 

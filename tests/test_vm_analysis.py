@@ -218,7 +218,10 @@ class TestFacts:
         assert report.helper_bound == 3
         assert set(report.helper_ids) == {1, 7}
 
-    def test_loops_void_the_bounds(self):
+    def test_counted_loop_is_certified(self):
+        # A loop over a constant-initialized register counter is no
+        # longer unbounded: the fuel-certificate pass proves a trip
+        # count and restores a worst-case fuel bound.
         src = """
             mov r6, 4
         loop:
@@ -227,8 +230,29 @@ class TestFacts:
             exit
         """
         report = analyze(assemble(src))
-        assert report.ok  # bounded loops are accepted (fuel guards them)
+        assert report.ok
         assert not report.loop_free
+        assert report.fuel_certificate is not None
+        assert report.fuel_bound is not None
+        # mov + 4 laps of (sub, jne) + exit >= actual 10 instructions.
+        assert report.fuel_bound >= 10
+        assert report.helper_bound == 0
+
+    def test_data_dependent_loop_voids_the_bounds(self):
+        # When the counter comes from a helper call its pre-header
+        # interval is TOP: no trip bound, no certificate, no fuel bound.
+        src = """
+            call 1
+            mov r6, r0
+        loop:
+            sub r6, 1
+            jne r6, 0, loop
+            exit
+        """
+        report = analyze(assemble(src))
+        assert report.ok  # bounded by runtime fuel, still accepted
+        assert not report.loop_free
+        assert report.fuel_certificate is None
         assert report.fuel_bound is None
         assert report.helper_bound is None
 

@@ -4,13 +4,13 @@
 Runs the Table-3 / §4.6-style workloads across every layer the fast-path
 engine touches — plus the many-connection ``quic-scale`` lifecycle
 workload, the NAT-rebinding ``migration`` workload and the batched-
-datapath ``goodput`` A/B — and writes ``BENCH_pr7.json`` at the
+datapath ``goodput`` A/B — and writes ``BENCH_pr8.json`` at the
 repository root, the trajectory file that future PRs compare themselves
 against.
 
 Usage (from the repository root)::
 
-    python tools/bench.py            # full run, writes BENCH_pr7.json
+    python tools/bench.py            # full run, writes BENCH_pr8.json
     python tools/bench.py --quick    # smaller iteration counts (CI smoke)
     python tools/bench.py --quick --check
                                      # additionally fail on >2x regression
@@ -55,6 +55,11 @@ MIN_JIT_SPEEDUP = 3.0    # acceptance floor for the JIT on the kernel
 #: from the monitored one, so it must never be slower.  Measured as an
 #: interleaved best-of-N in one process, so machine drift cancels.
 MIN_MONITOR_FREE_SPEEDUP = 1.0
+#: Same argument for the static fuel certificate on a *looping* kernel:
+#: the certified closure only drops fuel-exhaustion checks (the
+#: ``_fuel -= k`` accounting stays), so it must not be slower than the
+#: monitored path.  Interleaved best-of-N again.
+MIN_CERTIFICATE_SPEEDUP = 1.0
 #: Observability must be zero-cost when disabled: a connection that had
 #: tracing/metrics/profiling enabled and then disabled may dispatch at
 #: most this much slower than one that never enabled them (the latter is
@@ -113,10 +118,28 @@ def _analysis_kernel(n_pairs: int = 120) -> list:
     return assemble("\n".join(lines))
 
 
+def _certificate_kernel(trips: int = 200) -> list:
+    """A *looping* kernel with a register counter the fuel-certificate
+    analysis can bound: constant start, +1 per lap, compared against a
+    constant at the loop head.  Loop-freedom proofs do not apply here —
+    only a certificate lets the JIT drop the batched fuel checks."""
+    return assemble("\n".join([
+        "mov r6, 0",
+        "mov r0, 0",
+        "loop:",
+        "add r0, 2",
+        "add r6, 1",
+        f"jlt r6, {trips}, loop",
+        "exit",
+    ]))
+
+
 def bench_analysis(quick: bool) -> dict:
     """Static-analyzer throughput plus the payoff of its proofs: the
     same JIT-compiled kernel with and without the inlined runtime
-    monitor (``--check`` gates monitor-free >= monitored)."""
+    monitor (``--check`` gates monitor-free >= monitored), and the
+    ``fuel_certificate`` variant — a looping kernel where certified
+    fuel-check elision must be no slower than the monitored path."""
     from repro.vm.analysis import analyze
 
     program = _analysis_kernel()
@@ -144,6 +167,29 @@ def bench_analysis(quick: bool) -> dict:
         for name, vm in (("monitored", monitored), ("free", free)):
             dt, _ = _time(spin, vm)
             best[name] = min(best[name], dt)
+
+    # --- fuel_certificate variant: a loop only a certificate can elide --
+    loop_program = _certificate_kernel()
+    loop_report = analyze(loop_program)
+    assert loop_report.fuel_certificate is not None, \
+        "certificate kernel must certify"
+    assert not loop_report.loop_free
+    cert_monitored = JitVirtualMachine(loop_program, PluginMemory(),
+                                       instruction_budget=10_000_000)
+    certified = JitVirtualMachine(loop_program, PluginMemory(),
+                                  instruction_budget=10_000_000,
+                                  analysis=loop_report)
+    assert cert_monitored.jit_enabled and certified.jit_specialized
+    assert cert_monitored.run() == certified.run()
+    assert (cert_monitored.instructions_executed
+            == certified.instructions_executed)
+    cert_best = {"monitored": float("inf"), "certified": float("inf")}
+    for _ in range(5):  # interleaved best-of-N
+        for name, vm in (("monitored", cert_monitored),
+                         ("certified", certified)):
+            dt, _ = _time(spin, vm)
+            cert_best[name] = min(cert_best[name], dt)
+
     return {
         "analysis_instrs_per_sec":
             (len(program) * rounds / t, "instr/s"),
@@ -153,6 +199,12 @@ def bench_analysis(quick: bool) -> dict:
             (runs / best["free"], "ops/s"),
         "jit_monitor_free_speedup":
             (best["monitored"] / best["free"], "x"),
+        "jit_fuel_cert_monitored_ops_per_sec":
+            (runs / cert_best["monitored"], "ops/s"),
+        "jit_fuel_cert_elided_ops_per_sec":
+            (runs / cert_best["certified"], "ops/s"),
+        "jit_fuel_certificate_speedup":
+            (cert_best["monitored"] / cert_best["certified"], "x"),
     }
 
 
@@ -698,9 +750,9 @@ def main(argv=None) -> int:
                         help="run each workload under cProfile and print "
                              "the top 25 functions by cumulative time")
     parser.add_argument("--output", type=pathlib.Path,
-                        default=ROOT / "BENCH_pr7.json")
+                        default=ROOT / "BENCH_pr8.json")
     parser.add_argument("--baseline", type=pathlib.Path,
-                        default=ROOT / "BENCH_pr7.json",
+                        default=ROOT / "BENCH_pr8.json",
                         help="baseline file compared by --check")
     args = parser.parse_args(argv)
 
@@ -721,6 +773,16 @@ def main(argv=None) -> int:
         msg = (f"jit_monitor_free_speedup {mf_speedup:.3f}x: the "
                f"proof-specialized closure must not be slower than the "
                f"monitored one ({MIN_MONITOR_FREE_SPEEDUP}x floor)")
+        if args.check:
+            failures.append(msg)
+        else:
+            print(f"[bench] WARNING: {msg}")
+
+    cert_speedup = metrics["jit_fuel_certificate_speedup"]["value"]
+    if cert_speedup < MIN_CERTIFICATE_SPEEDUP:
+        msg = (f"jit_fuel_certificate_speedup {cert_speedup:.3f}x: the "
+               f"certified fuel-check-elided closure must not be slower "
+               f"than the monitored one ({MIN_CERTIFICATE_SPEEDUP}x floor)")
         if args.check:
             failures.append(msg)
         else:
@@ -756,7 +818,7 @@ def main(argv=None) -> int:
 
     report = {
         "schema": "pquic-bench-v1",
-        "pr": "pr7",
+        "pr": "pr8",
         "quick": args.quick,
         "python": sys.version.split()[0],
         "metrics": metrics,

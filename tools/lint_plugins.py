@@ -9,7 +9,12 @@ bytecode corpus under ``tests/corpus/``:
   (warnings are reported but allowed — e.g. compiler dead code);
 * every program in ``tests/corpus/bad/`` must be rejected with exactly
   the rule id named in its ``; expect: PRExxx`` header;
-* every program in ``tests/corpus/good/`` must be accepted.
+* every program in ``tests/corpus/good/`` must be accepted;
+* a *deployable* bundled set (one FEC variant) must be free of hard
+  cross-plugin conflicts (``PRE200``/``PRE203``);
+* every plugin pair in ``tests/corpus/pairs/*.json`` must produce the
+  diagnostic named in its ``"expect"`` key (or none for ``"ok"``), and
+  the fuel corpus entries must carry a static fuel certificate.
 
 Exits non-zero on the first violated expectation, so CI can run it as a
 blocking job::
@@ -61,6 +66,74 @@ def lint_bundled() -> int:
     return failures
 
 
+#: A plugin set meant to attach together (the builtin list also holds
+#: mutually-exclusive FEC variants that replace the same protoops by
+#: design, so "all builtins" is not a deployable set).
+DEPLOYABLE_SET = ("monitoring", "ccontrol", "ecn", "datagram",
+                  "multipath", "fec-xor")
+
+
+def lint_deployable_set() -> int:
+    """The deployable bundled set must have no hard conflicts."""
+    from repro.core.api import FIELD_NAMES, HELPER_EFFECTS
+    from repro.vm.analysis import check_plugin_set, summarize_plugin
+
+    effects = [summarize_plugin(BUILTIN_PLUGINS[name](), HELPER_EFFECTS)
+               for name in DEPLOYABLE_SET]
+    diags = check_plugin_set(effects, FIELD_NAMES)
+    errors = [d for d in diags if d.severity is Severity.ERROR]
+    warnings = [d for d in diags if d.severity is Severity.WARNING]
+    status = "FAIL" if errors else "ok"
+    print(f"[{status}] deployable set {'+'.join(DEPLOYABLE_SET)}: "
+          f"{len(errors)} conflict error(s), {len(warnings)} warning(s)")
+    for d in errors + warnings:
+        print(f"       {d.format()}")
+    return 1 if errors else 0
+
+
+def check_pairs_corpus() -> int:
+    """Every pairs-corpus file must yield exactly its expected rule."""
+    import json
+
+    from repro.cli import _load_plugin_set_file
+    from repro.core.api import FIELD_NAMES, HELPER_EFFECTS
+    from repro.vm.analysis import check_plugin_set, summarize_plugin
+
+    failures = 0
+    for path in sorted((ROOT / "tests" / "corpus" / "pairs").glob("*.json")):
+        expected = json.loads(path.read_text()).get("expect", "ok")
+        plugins = _load_plugin_set_file(path)
+        diags = []
+        for plugin in plugins:
+            diags.extend(lint_plugin(plugin))
+        effects = [summarize_plugin(p, HELPER_EFFECTS) for p in plugins]
+        diags.extend(check_plugin_set(effects, FIELD_NAMES))
+        rules = sorted({d.rule for d in diags})
+        if expected == "ok":
+            if rules:
+                print(f"[FAIL] pairs/{path.name}: expected clean, "
+                      f"got {', '.join(rules)}")
+                failures += 1
+                continue
+        elif expected not in rules:
+            print(f"[FAIL] pairs/{path.name}: expected {expected}, "
+                  f"got {', '.join(rules) or 'none'}")
+            failures += 1
+            continue
+        # The fuel corpus additionally proves the certificate machinery
+        # runs end to end: each bounded_sum pluglet must be certified.
+        if path.name.startswith("fuel_"):
+            report = next(iter(plugins[0].analyze_all().values()))
+            if report.fuel_certificate is None:
+                print(f"[FAIL] pairs/{path.name}: no fuel certificate "
+                      f"for {plugins[0].name}")
+                failures += 1
+                continue
+        print(f"[ok]   pairs/{path.name}: "
+              f"{expected if expected != 'ok' else 'clean'} as expected")
+    return failures
+
+
 def check_corpus() -> int:
     """Bad corpus must fail with its expected rule; good must pass."""
     failures = 0
@@ -98,7 +171,9 @@ def check_corpus() -> int:
 
 def main() -> int:
     failures = lint_bundled()
+    failures += lint_deployable_set()
     failures += check_corpus()
+    failures += check_pairs_corpus()
     if failures:
         print(f"\n{failures} lint expectation(s) violated")
         return 1
