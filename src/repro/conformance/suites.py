@@ -80,6 +80,17 @@ def smoke_suite() -> List[Scenario]:
             faults=(FaultEvent(kind="nat_rebind", at=0.25),),
             seed=17,
         ),
+        Scenario(
+            # 2% ambient loss on a long-ish path: exercises the RFC 9002
+            # recovery machinery end to end (PTO probes, spurious-loss
+            # undo, persistent-congestion checks) and pins the new
+            # recovery stats/metrics into the cross-mode parity oracles.
+            name="pto-probe-lossy",
+            workload=Workload(size=28_000),
+            topology=Topology(d_ms=25.0, bw_mbps=10.0, loss_pct=2.0),
+            plugins=("monitoring",),
+            seed=41,
+        ),
     ]
 
 

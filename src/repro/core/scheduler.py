@@ -76,9 +76,12 @@ def schedule_packet_frames(conn, epoch: Epoch, path_index: int, budget: int):
     used = 0
     ack_only = True
 
-    # 1. ACK — not congestion controlled, always fits first.
+    # 1. ACK — not congestion controlled, always fits first.  The
+    # reported ack_delay is clamped to our own advertised max_ack_delay
+    # (the send-side mirror of the RFC 9002 §5.3 receive clamp).
     if space.ack_needed:
-        ack = space.ack_frame(conn.now)
+        ack = space.ack_frame(
+            conn.now, conn.configuration.transport_parameters.max_ack_delay)
         if ack is not None:
             size = _frame_size(ack)
             if used + size <= budget:
@@ -111,6 +114,23 @@ def schedule_packet_frames(conn, epoch: Epoch, path_index: int, budget: int):
         frames.append(path.probe_frames.pop(0))
         used += size
         ack_only = False
+
+    # PTO probe bundle: one bundle per packet (so a PTO expiry yields at
+    # most MAX_PTO_PROBES probe packets), exempt from the congestion
+    # window per RFC 9002 §7.5 — a blocked window is exactly when the
+    # probe is needed.  Frames that overflow the budget stay queued at
+    # the bundle head for the next packet.
+    if path.pto_probes:
+        bundle = path.pto_probes[0]
+        while bundle:
+            size = _frame_size(bundle[0])
+            if used + size > budget:
+                break
+            frames.append(bundle.pop(0))
+            used += size
+            ack_only = False
+        if not bundle:
+            path.pto_probes.pop(0)
 
     # Non-congestion-controlled plugin frames (e.g. MP_ACK) are exempt
     # from the window, like ACKs.

@@ -26,6 +26,12 @@ class CongestionController:
     def available_window(self) -> int:
         return max(0, self.cwnd - self.bytes_in_flight)
 
+    @property
+    def state(self) -> str:
+        """Congestion state label for the qlog
+        ``congestion_state_updated`` event."""
+        return "unknown"
+
     def can_send(self) -> bool:
         return self.bytes_in_flight < self.cwnd
 
@@ -35,11 +41,20 @@ class CongestionController:
     def on_packet_discarded(self, size: int) -> None:
         self.bytes_in_flight = max(0, self.bytes_in_flight - size)
 
-    def on_ack(self, size: int, now: float, sent_time: float) -> None:
+    def on_ack(self, size: int, now: float, sent_time: float,
+               app_limited: bool = False) -> None:
         raise NotImplementedError
 
     def on_loss(self, size: int, now: float, sent_time: float) -> None:
         raise NotImplementedError
+
+    def on_persistent_congestion(self) -> None:
+        """RFC 9002 §7.6: a duration-spanning run of losses proved the
+        path persistently congested.  No-op by default."""
+
+    def on_spurious_loss(self, size: int, lost_time: float,
+                         sent_time: float) -> None:
+        """A declared-lost packet was later acked.  No-op by default."""
 
 
 class NewRenoController(CongestionController):
@@ -49,24 +64,88 @@ class NewRenoController(CongestionController):
         super().__init__(initial_window)
         self.ssthresh: float = float("inf")
         self._recovery_start: float = -1.0
+        self._in_recovery = False
+        # Byte-counting accumulator for congestion avoidance: the
+        # classic `MSS * acked // cwnd` increment rounds to zero for
+        # small ACKed sizes at large cwnd, freezing growth entirely.
+        # Instead, accumulate acked bytes and add one full MSS per cwnd
+        # of data acknowledged (RFC 3465-style byte counting).
+        self._ca_acked = 0
+        # Pre-reduction window saved for spurious-loss undo; restored
+        # when every loss of the epoch proves spurious.
+        self._undo_cwnd = 0
+        self._undo_ssthresh: float = float("inf")
+        self._undo_available = False
+        self._epoch_losses = 0
 
     @property
     def in_slow_start(self) -> bool:
         return self.cwnd < self.ssthresh
 
-    def on_ack(self, size: int, now: float, sent_time: float) -> None:
+    @property
+    def state(self) -> str:
+        if self._in_recovery:
+            return "recovery"
+        if self.in_slow_start:
+            return "slow_start"
+        return "congestion_avoidance"
+
+    def on_ack(self, size: int, now: float, sent_time: float,
+               app_limited: bool = False) -> None:
         self.bytes_in_flight = max(0, self.bytes_in_flight - size)
         if sent_time <= self._recovery_start:
             return  # no growth for packets sent before recovery began
+        if self._in_recovery:
+            self._in_recovery = False  # forward progress past the epoch
+        if app_limited:
+            # §7.8: the window was under-utilized when this packet left;
+            # growing it would not be validated by actual delivery rate.
+            return
         if self.in_slow_start:
             self.cwnd += size
         else:
-            self.cwnd += MAX_DATAGRAM_SIZE * size // self.cwnd
+            self._ca_acked += size
+            if self._ca_acked >= self.cwnd:
+                self._ca_acked -= self.cwnd
+                self.cwnd += MAX_DATAGRAM_SIZE
 
     def on_loss(self, size: int, now: float, sent_time: float) -> None:
         self.bytes_in_flight = max(0, self.bytes_in_flight - size)
         if sent_time <= self._recovery_start:
-            return  # already reacted to this loss epoch
+            self._epoch_losses += 1  # same epoch, no further reduction
+            return
+        self._undo_cwnd = self.cwnd
+        self._undo_ssthresh = self.ssthresh
+        self._undo_available = True
+        self._epoch_losses = 1
         self._recovery_start = now
+        self._in_recovery = True
+        self._ca_acked = 0
         self.cwnd = max(int(self.cwnd * LOSS_REDUCTION_FACTOR), MINIMUM_WINDOW)
         self.ssthresh = self.cwnd
+
+    def on_persistent_congestion(self) -> None:
+        # §7.6.2: collapse to the minimum window and restart from slow
+        # start; the next loss may open a fresh epoch immediately.  The
+        # collapse is evidence, not conjecture — no undo.
+        self.cwnd = MINIMUM_WINDOW
+        self._ca_acked = 0
+        self._in_recovery = False
+        self._undo_available = False
+        self._recovery_start = -1.0
+
+    def on_spurious_loss(self, size: int, lost_time: float,
+                         sent_time: float) -> None:
+        # bytes_in_flight was already charged when the loss was declared;
+        # only the window reduction may need undoing.  Each spurious loss
+        # belonging to the current epoch cancels one genuine loss; when
+        # none remain, the whole reduction was built on late ACKs —
+        # restore the pre-reduction cwnd/ssthresh (F-RTO-style undo).
+        if lost_time < self._recovery_start:
+            return  # declared lost before the current epoch began
+        self._epoch_losses = max(0, self._epoch_losses - 1)
+        if self._undo_available and self._epoch_losses == 0:
+            self.cwnd = max(self.cwnd, self._undo_cwnd)
+            self.ssthresh = self._undo_ssthresh
+            self._undo_available = False
+            self._in_recovery = False

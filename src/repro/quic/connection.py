@@ -23,7 +23,7 @@ from typing import Any, Callable, Optional
 from repro.core.protoop import Anchor, ProtoopError, ProtoopTable
 
 from . import frames as F
-from .cc import DEFAULT_INITIAL_WINDOW, NewRenoController
+from .cc import DEFAULT_INITIAL_WINDOW, MAX_DATAGRAM_SIZE, NewRenoController
 from .crypto import (
     TAG_LENGTH,
     CryptoPair,
@@ -50,7 +50,13 @@ from .packet import (
     seal_packet,
     seal_packet_into,
 )
-from .recovery import PacketNumberSpace, RttEstimator, SentPacket
+from .recovery import (
+    K_PERSISTENT_CONGESTION_THRESHOLD,
+    MAX_PTO_PROBES,
+    PacketNumberSpace,
+    RttEstimator,
+    SentPacket,
+)
 from .reset import is_stateless_reset, stateless_reset_token
 from .stream import ReceiveStream, SendStream
 from .transport_params import TransportParameters
@@ -115,6 +121,11 @@ class QuicConfiguration:
     #: Static key deriving per-CID stateless reset tokens (§10.3); None
     #: disables stateless reset generation and advertisement.
     stateless_reset_key: Optional[bytes] = None
+    #: Pre-RFC 9002 PTO response: declare every outstanding packet lost
+    #: on PTO expiry instead of sending 1-2 probe packets.  Exists solely
+    #: as the baseline the ``lossy-recovery`` benchmark compares probe
+    #: recovery against; none of the kill-switch modes sets it.
+    declare_all_on_pto: bool = False
 
 
 class PathState:
@@ -155,6 +166,10 @@ class Path:
         #: PATH_CHALLENGE/PATH_RESPONSE frames that must leave on *this*
         #: path (§8.2.2), unlike ordinary (path-agnostic) control frames.
         self.probe_frames: list = []
+        #: PTO probe bundles (RFC 9002 §6.2.4): each inner list is the
+        #: retransmittable frame set of one oldest-unacked packet, sent
+        #: as one probe packet, exempt from the congestion window (§7.5).
+        self.pto_probes: list = []
         self.probe_count = 0
         self.probe_deadline: Optional[float] = None
         #: §8.1 anti-amplification: while True, at most ``AMP_FACTOR``
@@ -328,6 +343,10 @@ class QuicConnection:
             "bytes_received": 0,
             "packets_lost": 0,
             "packets_acked": 0,
+            "probes_sent": 0,
+            "spurious_losses": 0,
+            "persistent_congestion": 0,
+            "pto_fired": 0,
             "frames_received": 0,
             "acks_received": 0,
             "spurious_received": 0,
@@ -528,6 +547,8 @@ class QuicConnection:
         if self.handshake_complete:
             return
         self.handshake_complete = True
+        # Handshake progress also resets the PTO backoff (RFC 9002 §6.2.1).
+        self._pto_count = 0
         if not self.is_client:
             # Completing the handshake validates the client address (§8.1)
             # and is the moment to offer a spare CID the client can rotate
@@ -803,9 +824,13 @@ class QuicConnection:
             )
         for pkt in result.newly_acked:
             self.protoops.run(self, "on_packet_acked", None, pkt, path.index)
+        for pkt in result.spurious:
+            self._run_spurious_loss(pkt, path.index)
         for pkt in result.lost:
             self.protoops.run(self, "on_packet_lost", None, pkt, path.index)
+        self._maybe_persistent_congestion(space, path, result.lost)
         if result.newly_acked:
+            # Forward progress: the PTO backoff restarts (RFC 9002 §6.2.1).
             self._pto_count = 0
 
     def _process_crypto_frame(self, conn, frame: F.CryptoFrame, ctx: dict) -> None:
@@ -894,6 +919,20 @@ class QuicConnection:
         registry = getattr(self, "metrics", None)
         if registry is not None:
             registry.counter("quic.path." + name).inc(amount)
+
+    def _record_recovery_metric(self, name: str, amount: int = 1) -> None:
+        """Host-side ``quic.recovery.*`` counters (probes, spurious
+        losses, persistent congestion); unprefixed like ``quic.path.*``
+        so vantage points aggregate identically."""
+        registry = getattr(self, "metrics", None)
+        if registry is not None:
+            registry.counter("quic.recovery." + name).inc(amount)
+
+    def _emit_cc_state(self, path_index: int, old: str, new: str,
+                       trigger: str) -> None:
+        if old != new:
+            self._run_extension_event(
+                "congestion_state_changed", path_index, old, new, trigger)
 
     def _set_path_state(self, path: Path, state: str) -> None:
         if path.state == state:
@@ -1028,13 +1067,60 @@ class QuicConnection:
 
     def _op_congestion_on_ack(self, conn, pkt: SentPacket, path_index: int) -> None:
         path = self.paths[path_index]
-        path.cc.on_ack(pkt.size, self.now, pkt.sent_time)
+        old = path.cc.state
+        path.cc.on_ack(pkt.size, self.now, pkt.sent_time,
+                       app_limited=pkt.app_limited)
+        self._emit_cc_state(path_index, old, path.cc.state, "ack")
         self.protoops.run(self, "cc_window_updated", None, path_index, path.cc.cwnd)
 
     def _op_congestion_on_loss(self, conn, pkt: SentPacket, path_index: int) -> None:
         path = self.paths[path_index]
+        old = path.cc.state
         path.cc.on_loss(pkt.size, self.now, pkt.sent_time)
+        self._emit_cc_state(path_index, old, path.cc.state, "loss")
         self.protoops.run(self, "cc_window_updated", None, path_index, path.cc.cwnd)
+
+    def _run_spurious_loss(self, pkt: SentPacket, path_index: int) -> None:
+        """Dispatch the ``on_spurious_loss`` protoop anchor, registering
+        its default lazily (first spurious loss) so the paper's
+        72-protoop census stays intact, like the other extension ops."""
+        table = self.protoops
+        if not table.exists("on_spurious_loss") or \
+                not table.get("on_spurious_loss").defaults:
+            table.register("on_spurious_loss", self._op_on_spurious_loss)
+        table.run(self, "on_spurious_loss", None, pkt, path_index)
+
+    def _op_on_spurious_loss(self, conn, pkt: SentPacket, path_index: int) -> None:
+        """A packet declared lost was later acknowledged: the loss was
+        spurious.  The send-side mirror of the receive side's
+        ``spurious_received`` accounting — and the congestion response
+        the false loss triggered is undone."""
+        path = self.paths[path_index]
+        self.stats["spurious_losses"] += 1
+        self._record_recovery_metric("spurious_losses")
+        old = path.cc.state
+        if pkt.in_flight:
+            path.cc.on_spurious_loss(pkt.size, pkt.lost_time, pkt.sent_time)
+        self._emit_cc_state(path_index, old, path.cc.state, "spurious_loss")
+        self.protoops.run(self, "cc_window_updated", None, path_index, path.cc.cwnd)
+
+    def _maybe_persistent_congestion(self, space: PacketNumberSpace,
+                                     path: Path, lost: list) -> None:
+        """RFC 9002 §7.6: collapse cwnd to the minimum only when a
+        duration-spanning unbroken run of losses proves the path dead —
+        and only once an RTT sample exists to size the duration."""
+        if not lost or path.rtt.samples == 0:
+            return
+        duration = path.rtt.pto() * K_PERSISTENT_CONGESTION_THRESHOLD
+        if not space.persistent_congestion(lost, duration):
+            return
+        old = path.cc.state
+        path.cc.on_persistent_congestion()
+        self.stats["persistent_congestion"] += 1
+        self._record_recovery_metric("persistent_congestion")
+        self._emit_cc_state(path.index, old, path.cc.state,
+                            "persistent_congestion")
+        self.protoops.run(self, "cc_window_updated", None, path.index, path.cc.cwnd)
 
     def _op_retransmit_packet(self, conn, pkt: SentPacket) -> None:
         for frame in pkt.frames:
@@ -1168,15 +1254,57 @@ class QuicConnection:
                 lost = self.protoops.run(self, "detect_lost_packets", None, space, path.index)
                 for pkt in lost:
                     self.protoops.run(self, "on_packet_lost", None, pkt, path.index)
+                self._maybe_persistent_congestion(space, path, lost)
                 fired = True
         if not fired:
-            # PTO: retransmit the oldest outstanding data.
+            # PTO (RFC 9002 §6.2.4): a late ACK is not evidence of loss.
+            # Send up to two ack-eliciting probe packets carrying the
+            # oldest unacked frames — no packet is declared lost, cwnd
+            # is untouched, and the backoff doubles until an ACK or
+            # handshake progress resets it.
             self._pto_count += 1
+            self.stats["pto_fired"] += 1
+            self._record_recovery_metric("pto_fired")
             for space, path in self._spaces_and_paths():
                 deadline = space.pto_deadline(path.rtt, max(0, self._pto_count - 1))
                 if deadline is not None and self.now >= deadline - 1e-12:
-                    for pkt in space.on_pto(self.now, path.rtt):
-                        self.protoops.run(self, "on_packet_lost", None, pkt, path.index)
+                    if self.configuration.declare_all_on_pto:
+                        # Legacy declare-all-lost behavior, kept only as
+                        # the bench baseline the probe path must beat.
+                        for pkt in space.declare_all_lost():
+                            self.protoops.run(
+                                self, "on_packet_lost", None, pkt, path.index)
+                    else:
+                        self._send_pto_probes(space, path)
+
+    def _send_pto_probes(self, space: PacketNumberSpace, path: Path) -> None:
+        """Queue 1-2 ack-eliciting probe packets for *space* on *path*.
+
+        Probes retransmit the oldest unacked frames without removing the
+        original packets from flight (conservation stays exact: the
+        originals remain in ``sent`` until acked or declared lost by the
+        normal detector).  Probe bundles are cwnd-exempt (§7.5)."""
+        candidates = space.probe_candidates(MAX_PTO_PROBES)
+        for pkt in candidates:
+            if space is self.initial_space:
+                # Handshake data re-enters the crypto send queue; the
+                # scheduler already treats Initial crypto as cwnd-exempt.
+                self.protoops.run(self, "retransmit_packet", None, pkt)
+            else:
+                # Only retransmittable frames ride in a probe: unreliable
+                # extension frames (DATAGRAM, §4.2) must never be
+                # repeated, and path probes are timer-driven (§8.2.2).
+                bundle = [
+                    f for f in pkt.frames
+                    if f.retransmittable
+                    and f.type not in (F.PATH_CHALLENGE, F.PATH_RESPONSE)
+                ]
+                if not bundle:
+                    bundle = [F.PingFrame()]
+                path.pto_probes.append(bundle)
+            self.stats["probes_sent"] += 1
+            self._record_recovery_metric("probes_sent")
+            self._run_extension_event("probe_sent", pkt, path.index)
 
     def _op_detect_lost_packets(self, conn, space: PacketNumberSpace, path_index: int) -> list:
         return space.detect_lost(self.now, self.paths[path_index].rtt)
@@ -1541,9 +1669,10 @@ class QuicConnection:
         if self.crypto[Epoch.ONE_RTT] is None:
             return None
         # Path probes (PATH_CHALLENGE/PATH_RESPONSE) must leave on their
-        # specific path (§8.2.2), so they bypass path selection.
+        # specific path (§8.2.2) and PTO probe bundles on the path whose
+        # deadline expired, so both bypass path selection.
         for path in self.paths:
-            if path.probe_frames:
+            if path.probe_frames or path.pto_probes:
                 pkt = self._prepare_epoch_packet(Epoch.ONE_RTT, path.index)
                 if pkt is not None:
                     return pkt, path.index
@@ -1692,6 +1821,13 @@ class QuicConnection:
         space.on_packet_sent(sent)
         if sent.in_flight:
             path.cc.on_packet_sent(sent.size)
+            # §7.8: if the window is still open and nothing more waits,
+            # the application — not cwnd — limited this send; its ACK
+            # must not grow the window.
+            sent.app_limited = (
+                path.cc.available_window >= MAX_DATAGRAM_SIZE
+                and not self.data_to_send_pending()
+            )
         if path.amp_limited:
             path.amp_sent += len(packet)
         self.stats["packets_sent"] += 1

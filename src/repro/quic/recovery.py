@@ -17,9 +17,17 @@ K_GRANULARITY = 0.001  # 1 ms
 K_PACKET_THRESHOLD = 3
 K_TIME_THRESHOLD = 9 / 8
 K_INITIAL_RTT = 0.1
+#: RFC 9002 §7.6.1: persistent congestion needs a run of losses spanning
+#: this many PTO periods with no delivery in between.
+K_PERSISTENT_CONGESTION_THRESHOLD = 3
 MAX_ACK_DELAY = 0.025
 #: ACK frames report at most this many of the highest received ranges.
 MAX_ACK_RANGES = 32
+#: RFC 9002 §6.2.4: a PTO expiry elicits at most this many probe packets.
+MAX_PTO_PROBES = 2
+#: Declared-lost packets remembered for spurious-loss detection (§6.1's
+#: "packets ACKed after being declared lost"); bounds send-side state.
+MAX_LOST_HISTORY = 4096
 
 
 class RttEstimator:
@@ -78,6 +86,14 @@ class SentPacket:
     #: has provably seen that ACK, so received ranges at or below the
     #: bound can be pruned (they will never need re-reporting).
     largest_ack_reported: int = -1
+    #: When loss detection declared this packet lost, or -1.0 while it is
+    #: still outstanding.  A later ACK of a packet with lost_time >= 0 is
+    #: a spurious loss (the congestion response can be undone).
+    lost_time: float = -1.0
+    #: RFC 9002 §7.8: True when this packet left with the congestion
+    #: window still open and nothing more to send — the application, not
+    #: congestion, was the bottleneck, so its ACK must not grow cwnd.
+    app_limited: bool = False
 
 
 @dataclass
@@ -86,6 +102,9 @@ class AckResult:
 
     newly_acked: list = field(default_factory=list)
     lost: list = field(default_factory=list)
+    #: Packets previously declared lost that this ACK now acknowledges:
+    #: the loss (and any congestion reduction it caused) was spurious.
+    spurious: list = field(default_factory=list)
     latest_rtt: Optional[float] = None
 
 
@@ -99,6 +118,13 @@ class PacketNumberSpace:
         self.largest_acked = -1
         self.loss_time: Optional[float] = None
         self.last_ack_eliciting_sent: Optional[float] = None
+        #: Packet numbers the peer has acknowledged (coalesces to a few
+        #: ranges); consulted by the §7.6 persistent-congestion walk — an
+        #: acked packet between two losses breaks the run.
+        self.acked_pns = RangeSet()
+        #: Declared-lost packets awaiting possible late ACKs (spurious
+        #: loss detection), newest MAX_LOST_HISTORY only.
+        self.lost_packets: dict[int, SentPacket] = {}
         # Receive side.
         self.received = RangeSet()
         self.largest_received = -1
@@ -135,11 +161,19 @@ class PacketNumberSpace:
             self.ack_needed = True
         return True
 
-    def ack_frame(self, now: float) -> Optional[AckFrame]:
-        """Build an ACK frame for everything received so far."""
+    def ack_frame(self, now: float,
+                  max_ack_delay: float = MAX_ACK_DELAY) -> Optional[AckFrame]:
+        """Build an ACK frame for everything received so far.
+
+        The reported ack_delay is clamped to our own advertised
+        ``max_ack_delay`` — the send-side mirror of the §5.3 receive-side
+        clamp — so a slow event loop cannot report a delay we never
+        negotiated and poison the peer's RTT estimator.
+        """
         if not self.received:
             return None
         delay = max(0.0, now - self.largest_received_time)
+        delay = min(delay, max_ack_delay)
         return AckFrame(ranges=self.received.tail(MAX_ACK_RANGES), ack_delay=delay)
 
     # --- ACK processing & loss detection ------------------------------------
@@ -167,9 +201,28 @@ class PacketNumberSpace:
         for pn in candidates:
             pkt = self.sent.pop(pn)
             result.newly_acked.append(pkt)
+            self.acked_pns.add(pn)
             if pn == largest and pkt.ack_eliciting:
                 result.latest_rtt = now - pkt.sent_time
                 rtt.update(result.latest_rtt, ack.ack_delay)
+        # Spurious losses: the same merge-walk over the declared-lost
+        # history.  A hit means the packet actually arrived — it leaves
+        # the history, counts as delivered for the §7.6 run check, and
+        # the caller can undo the congestion response.
+        if self.lost_packets:
+            ri = 0
+            spurious_pns = []
+            for pn in sorted(self.lost_packets):
+                while ri < len(ranges) and pn >= ranges[ri].stop:
+                    ri += 1
+                if ri == len(ranges):
+                    break
+                if pn >= ranges[ri].start:
+                    spurious_pns.append(pn)
+            for pn in spurious_pns:
+                pkt = self.lost_packets.pop(pn)
+                self.acked_pns.add(pn)
+                result.spurious.append(pkt)
         if largest > self.largest_acked:
             self.largest_acked = largest
         # ACK-of-ACK pruning: the peer just acked packets whose ACK
@@ -195,7 +248,10 @@ class PacketNumberSpace:
         lost: list[SentPacket] = []
         for pn in sorted(self.sent):
             if pn > self.largest_acked:
-                continue
+                # The walk is sorted, so nothing past largest_acked can
+                # satisfy either threshold — stop instead of scanning the
+                # whole in-flight tail on every ACK.
+                break
             pkt = self.sent[pn]
             # The tolerance keeps this comparison consistent with the
             # re-armed loss_time below: without it, floating-point error
@@ -211,7 +267,41 @@ class PacketNumberSpace:
                     self.loss_time = when
         for pkt in lost:
             del self.sent[pkt.packet_number]
+            pkt.lost_time = now
+            self.lost_packets[pkt.packet_number] = pkt
+        if len(self.lost_packets) > MAX_LOST_HISTORY:
+            for pn in sorted(self.lost_packets)[:-MAX_LOST_HISTORY]:
+                del self.lost_packets[pn]
         return lost
+
+    def persistent_congestion(self, lost: list, duration: float) -> bool:
+        """RFC 9002 §7.6: is there an unbroken run of newly lost
+        ack-eliciting packets whose send times span more than
+        ``duration``?  Unbroken means every packet numbered between two
+        run members is also lost — none was acked or is still
+        outstanding."""
+        eliciting = sorted(
+            (p for p in lost if p.ack_eliciting),
+            key=lambda p: p.packet_number,
+        )
+        if len(eliciting) < 2:
+            return False
+        run_start = prev = eliciting[0]
+        for pkt in eliciting[1:]:
+            if self._run_broken(prev.packet_number, pkt.packet_number):
+                run_start = pkt
+            elif pkt.sent_time - run_start.sent_time > duration:
+                return True
+            prev = pkt
+        return False
+
+    def _run_broken(self, low_pn: int, high_pn: int) -> bool:
+        """True if any packet numbered strictly between ``low_pn`` and
+        ``high_pn`` was delivered (acked) or is still outstanding."""
+        for pn in range(low_pn + 1, high_pn):
+            if pn in self.acked_pns or pn in self.sent:
+                return True
+        return False
 
     def pto_deadline(self, rtt: RttEstimator, pto_count: int) -> Optional[float]:
         """When the PTO alarm should fire, or None if nothing in flight."""
@@ -229,18 +319,35 @@ class PacketNumberSpace:
     def release(self) -> None:
         """Drop all send/receive tracking (connection terminated)."""
         self.sent.clear()
+        self.lost_packets.clear()
         self.received = RangeSet()
         self.loss_time = None
         self.last_ack_eliciting_sent = None
         self.ack_needed = False
 
-    def on_pto(self, now: float, rtt: RttEstimator) -> list:
-        """PTO expiry: declare the oldest ack-eliciting packets lost so
-        their frames are retransmitted.
+    def probe_candidates(self, max_probes: int = MAX_PTO_PROBES) -> list:
+        """PTO expiry (RFC 9002 §6.2.4): the oldest ack-eliciting
+        outstanding packets whose frames the probe packets retransmit.
 
-        A full implementation sends probe packets; retransmit-on-PTO is an
-        accepted simplification that keeps identical recovery externally.
+        Nothing is declared lost and nothing leaves ``sent`` — an ACK
+        may still be merely late.  Actual loss stays the job of the
+        packet/time thresholds in :meth:`detect_lost` once the probe
+        elicits a fresh ACK.
         """
+        probes: list[SentPacket] = []
+        for pn in sorted(self.sent):
+            pkt = self.sent[pn]
+            if pkt.ack_eliciting:
+                probes.append(pkt)
+                if len(probes) >= max_probes:
+                    break
+        return probes
+
+    def declare_all_lost(self) -> list:
+        """Pre-RFC 9002 PTO response: declare every outstanding packet
+        lost and retransmit whole flights.  Kept only as the baseline the
+        ``lossy-recovery`` benchmark (and its CI gate) compares the probe
+        path against — no kill-switch mode uses it."""
         lost = [self.sent[pn] for pn in sorted(self.sent)]
         self.sent.clear()
         return lost

@@ -61,11 +61,16 @@ class SendStream:
 
     @property
     def has_pending(self) -> bool:
-        if self._fin_pending:
-            return True
-        if not self._pending:
-            return False
-        return self._pending.smallest() < self.max_stream_data or False
+        if self._pending:
+            # Data is sendable only below the peer's limit; while every
+            # pending byte sits at/above it the stream is flow-blocked
+            # and must not be scheduled (a FIN behind blocked data
+            # cannot jump the queue either).
+            return self._pending.smallest() < self.max_stream_data
+        # A bare FIN consumes no flow-control credit, so it stays
+        # sendable even with the final offset exactly at
+        # max_stream_data (the FIN-at-limit edge).
+        return self._fin_pending
 
     @property
     def bytes_in_flight_or_pending(self) -> int:
@@ -83,31 +88,30 @@ class SendStream:
             start = first.start
             if start >= self.max_stream_data:
                 self.blocked = True
-                if self._fin_pending and self._highest_offset <= self.max_stream_data:
-                    pass  # fall through to FIN-only below
-                else:
-                    return None
-            else:
-                stop = min(first.stop, start + max_bytes, self.max_stream_data)
-                if stop <= start:
-                    return None
-                data = bytes(
-                    self._buffer[start - self._buffer_start: stop - self._buffer_start]
-                )
-                # O(1): a bulk sender always consumes a prefix of the
-                # lowest pending range, so chop it instead of rebuilding
-                # the whole range list with subtract().
-                self._pending.chop_first(stop)
-                fin = (
-                    self.fin
-                    and stop == self._highest_offset
-                    and not self._pending
-                )
-                if fin:
-                    self._fin_pending = False
-                return start, data, fin
+                return None
+            stop = min(first.stop, start + max_bytes, self.max_stream_data)
+            if stop <= start:
+                return None
+            data = bytes(
+                self._buffer[start - self._buffer_start: stop - self._buffer_start]
+            )
+            # O(1): a bulk sender always consumes a prefix of the
+            # lowest pending range, so chop it instead of rebuilding
+            # the whole range list with subtract().
+            self._pending.chop_first(stop)
+            fin = (
+                self.fin
+                and stop == self._highest_offset
+                and not self._pending
+            )
+            if fin:
+                self._fin_pending = False
+            return start, data, fin
         if self._fin_pending:
-            # FIN with no data (empty stream or data already in flight).
+            # FIN with no data: empty stream, data already in flight, or
+            # the final offset exactly at the flow-control limit.  An
+            # empty FIN frame consumes no credit, so it may leave even
+            # when _highest_offset == max_stream_data.
             self._fin_pending = False
             return self._highest_offset, b"", True
         return None

@@ -270,6 +270,12 @@ class ConnectionMetrics:
                      "cids_rotated", "amp_blocked", "off_path_rejected",
                      "stateless_resets"):
             r.counter("quic.path." + name)
+        # Loss-recovery counters, recorded host-side by
+        # QuicConnection._record_recovery_metric (PTO fires from the
+        # timer path) — unprefixed like quic.path.* for the same reason.
+        for name in ("pto_fired", "probes_sent", "spurious_losses",
+                     "persistent_congestion"):
+            r.counter("quic.recovery." + name)
         table = conn.protoops
         for name, fn in hooks:
             table.attach(name, Anchor.POST, fn)

@@ -19,7 +19,7 @@ from typing import Optional
 
 #: Bump the minor on additive changes (new events, new optional fields),
 #: the major on anything that breaks an existing consumer.
-TRACE_SCHEMA_VERSION = "repro-trace/1.2"
+TRACE_SCHEMA_VERSION = "repro-trace/1.3"
 
 #: Record types appearing in a JSONL stream.
 RECORD_HEADER = "header"
@@ -115,6 +115,20 @@ EVENT_CATALOG: dict = {
               path="int", cwnd="int"),
         _spec("loss_alarm_fired", "recovery",
               "The PTO/loss alarm fired."),
+        _spec("packet_probed", "recovery",
+              "A PTO expiry queued a probe packet repeating this "
+              "packet's frames (RFC 9002 §6.2.4); the original stays "
+              "in flight.",
+              packet_number="int", path="int"),
+        _spec("spurious_loss", "recovery",
+              "A packet declared lost was later acknowledged; the "
+              "congestion response is undone.",
+              packet_number="int", path="int"),
+        _spec("congestion_state_updated", "recovery",
+              "The congestion controller changed state (slow start / "
+              "congestion avoidance / recovery).",
+              optional=("trigger",),
+              path="int", old="str", new="str", trigger="str"),
         # --- connectivity ------------------------------------------------
         _spec("connection_established", "connectivity",
               "The handshake completed."),

@@ -147,6 +147,21 @@ def _d_path_transition(args, result):
     return {"path": path, "old": old, "new": new}
 
 
+def _d_probed(args, result):
+    pkt, path = args
+    return {"packet_number": pkt.packet_number, "path": path}
+
+
+def _d_spurious(args, result):
+    pkt, path = args
+    return {"packet_number": pkt.packet_number, "path": path}
+
+
+def _d_cc_state(args, result):
+    path, old, new, trigger = args
+    return {"path": path, "old": old, "new": new, "trigger": trigger}
+
+
 HOOKS = {
     "packet_sent_event": ("transport", "packet_sent", _d_packet_sent),
     "packet_received_event": ("transport", "packet_received",
@@ -180,6 +195,10 @@ HOOKS = {
     "connection_migrated": ("connectivity", "connection_migrated",
                             _d_path_transition),
     "stateless_reset": ("connectivity", "stateless_reset", _d_empty),
+    "probe_sent": ("recovery", "packet_probed", _d_probed),
+    "on_spurious_loss": ("recovery", "spurious_loss", _d_spurious),
+    "congestion_state_changed": ("recovery", "congestion_state_updated",
+                                 _d_cc_state),
 }
 
 

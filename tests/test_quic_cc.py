@@ -83,15 +83,80 @@ def test_window_floor():
 
 
 def test_congestion_avoidance_linear_growth():
+    # Byte counting (RFC 3465-style): one MSS of growth per cwnd of
+    # bytes acknowledged — +1 MSS per RTT on a saturated path.
     cc = NewRenoController()
     cc.cwnd = 48_000
     cc.ssthresh = 24_000  # in congestion avoidance
     before = cc.cwnd
+    acked = 0
+    while acked < before:
+        cc.on_packet_sent(1200)
+        cc.on_ack(1200, now=1.0, sent_time=0.5)
+        acked += 1200
+    assert cc.cwnd == before + MAX_DATAGRAM_SIZE
+
+
+def test_congestion_avoidance_grows_on_small_acks():
+    # Regression: the old `MSS * size // cwnd` increment rounds to zero
+    # for small ACKed sizes at large cwnd, freezing growth forever.  The
+    # byte accumulator must keep the window growing monotonically.
+    cc = NewRenoController()
+    cc.cwnd = 200_000
+    cc.ssthresh = 100_000  # in congestion avoidance
+    assert MAX_DATAGRAM_SIZE * 64 // cc.cwnd == 0  # the old bug's shape
+    start = cc.cwnd
+    last = cc.cwnd
+    for _ in range(2 * (cc.cwnd // 64) + 64):
+        cc.on_packet_sent(64)
+        cc.on_ack(64, now=1.0, sent_time=0.5)
+        assert cc.cwnd >= last  # monotone, never shrinks
+        last = cc.cwnd
+    assert cc.cwnd >= start + 2 * MAX_DATAGRAM_SIZE
+
+
+def test_persistent_congestion_collapses_to_minimum():
+    cc = NewRenoController()
+    cc.cwnd = 100_000
+    cc.ssthresh = 50_000
+    cc.on_persistent_congestion()
+    assert cc.cwnd == MINIMUM_WINDOW
+    assert cc.in_slow_start is (MINIMUM_WINDOW < cc.ssthresh)
+
+
+def test_spurious_loss_undoes_reduction():
+    cc = NewRenoController()
+    cc.cwnd = 100_000
     cc.on_packet_sent(1200)
-    cc.on_ack(1200, now=1.0, sent_time=0.5)
-    growth = cc.cwnd - before
-    assert 0 < growth <= MAX_DATAGRAM_SIZE
-    assert growth == MAX_DATAGRAM_SIZE * 1200 // before
+    cc.on_loss(1200, now=1.0, sent_time=0.5)
+    assert cc.cwnd == 50_000
+    # The one loss of the epoch turns out spurious: full undo.
+    cc.on_spurious_loss(1200, lost_time=1.0, sent_time=0.5)
+    assert cc.cwnd == 100_000
+    assert cc.ssthresh == float("inf")
+
+
+def test_spurious_loss_no_undo_while_real_losses_remain():
+    cc = NewRenoController()
+    cc.cwnd = 100_000
+    for _ in range(3):
+        cc.on_packet_sent(1200)
+    cc.on_loss(1200, now=1.0, sent_time=0.5)
+    cc.on_loss(1200, now=1.1, sent_time=0.6)  # same epoch: 2 losses
+    w = cc.cwnd
+    cc.on_spurious_loss(1200, lost_time=1.0, sent_time=0.5)
+    assert cc.cwnd == w  # one genuine loss still stands
+    cc.on_spurious_loss(1200, lost_time=1.1, sent_time=0.6)
+    assert cc.cwnd == 100_000  # every loss of the epoch was spurious
+
+
+def test_app_limited_ack_does_not_grow_window():
+    cc = NewRenoController()
+    start = cc.cwnd
+    cc.on_packet_sent(1200)
+    cc.on_ack(1200, now=1.0, sent_time=0.5, app_limited=True)
+    assert cc.cwnd == start
+    assert cc.bytes_in_flight == 0  # flight accounting still happens
 
 
 def test_no_growth_for_pre_recovery_acks():

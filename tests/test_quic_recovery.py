@@ -5,6 +5,8 @@ import pytest
 from repro.quic.frames import AckFrame
 from repro.quic.recovery import (
     K_PACKET_THRESHOLD,
+    MAX_LOST_HISTORY,
+    MAX_PTO_PROBES,
     AckResult,
     PacketNumberSpace,
     RttEstimator,
@@ -154,6 +156,20 @@ class TestReceiveTracking:
         assert space.ack_needed
         frame = space.ack_frame(now=1.2)
         assert frame.ranges == RangeSet([range(0, 2)])
+        # The 0.1 s of real delay is clamped to the advertised
+        # max_ack_delay: we may never report more than we negotiated.
+        assert frame.ack_delay == pytest.approx(0.025)
+
+    def test_ack_delay_below_max_reported_exactly(self):
+        space = PacketNumberSpace()
+        space.record_received(0, now=1.0, ack_eliciting=True)
+        frame = space.ack_frame(now=1.01)
+        assert frame.ack_delay == pytest.approx(0.01)
+
+    def test_ack_delay_clamped_to_custom_max(self):
+        space = PacketNumberSpace()
+        space.record_received(0, now=1.0, ack_eliciting=True)
+        frame = space.ack_frame(now=2.0, max_ack_delay=0.1)
         assert frame.ack_delay == pytest.approx(0.1)
 
     def test_duplicate_detection(self):
@@ -298,11 +314,129 @@ class TestPto:
         d1 = space.pto_deadline(rtt, 1)
         assert d1 == pytest.approx(2 * d0)
 
-    def test_on_pto_declares_everything_lost(self):
+    def test_probe_candidates_oldest_eliciting_first(self):
         space = PacketNumberSpace()
-        rtt = RttEstimator()
+        for pn in range(4):
+            space.on_packet_sent(sent(pn, t=float(pn)))
+        probes = space.probe_candidates()
+        # Oldest two ack-eliciting packets, nothing removed from flight.
+        assert [p.packet_number for p in probes] == [0, 1]
+        assert len(space.sent) == 4
+
+    def test_probe_candidates_skip_non_eliciting(self):
+        space = PacketNumberSpace()
+        space.on_packet_sent(
+            SentPacket(packet_number=0, sent_time=0.0, size=100,
+                       ack_eliciting=False, in_flight=False))
+        space.on_packet_sent(sent(1, t=1.0))
+        probes = space.probe_candidates()
+        assert [p.packet_number for p in probes] == [1]
+
+    def test_probe_candidates_respects_cap(self):
+        space = PacketNumberSpace()
+        for pn in range(5):
+            space.on_packet_sent(sent(pn))
+        assert len(space.probe_candidates(max_probes=1)) == 1
+        assert len(space.probe_candidates()) == MAX_PTO_PROBES
+
+    def test_declare_all_lost_legacy_baseline(self):
+        space = PacketNumberSpace()
         for pn in range(3):
             space.on_packet_sent(sent(pn))
-        lost = space.on_pto(now=10.0, rtt=rtt)
+        lost = space.declare_all_lost()
         assert [p.packet_number for p in lost] == [0, 1, 2]
         assert not space.sent
+
+
+class TestSpuriousLoss:
+    def test_late_ack_of_declared_lost_packet_is_spurious(self):
+        space = PacketNumberSpace()
+        rtt = RttEstimator()
+        for pn in range(5):
+            space.on_packet_sent(sent(pn, t=0.1 * pn))
+        # Acking 4 declares the rest lost (packet + time thresholds).
+        result = space.on_ack_received(ack_of(4), now=1.0, rtt=rtt)
+        lost_pns = [p.packet_number for p in result.lost]
+        assert 0 in lost_pns
+        assert not result.spurious
+        # The "lost" packet's ACK then arrives late: spurious.
+        result = space.on_ack_received(ack_of(0), now=1.1, rtt=rtt)
+        assert [p.packet_number for p in result.spurious] == [0]
+        assert result.newly_acked == []
+        assert 0 not in space.lost_packets
+        assert result.spurious[0].lost_time == pytest.approx(1.0)
+
+    def test_spurious_reported_once(self):
+        space = PacketNumberSpace()
+        rtt = RttEstimator()
+        for pn in range(5):
+            space.on_packet_sent(sent(pn, t=0.1 * pn))
+        space.on_ack_received(ack_of(4), now=1.0, rtt=rtt)
+        first = space.on_ack_received(ack_of(0), now=1.1, rtt=rtt)
+        again = space.on_ack_received(ack_of(0), now=1.2, rtt=rtt)
+        assert len(first.spurious) == 1
+        assert not again.spurious
+
+    def test_lost_history_bounded(self):
+        space = PacketNumberSpace()
+        rtt = RttEstimator()
+        rtt.update(0.01)
+        n = MAX_LOST_HISTORY + 64
+        for pn in range(n + 1):
+            space.on_packet_sent(sent(pn, t=0.0))
+        space.on_ack_received(ack_of(n), now=100.0, rtt=rtt)
+        assert len(space.lost_packets) <= MAX_LOST_HISTORY
+
+
+class TestPersistentCongestion:
+    def _lose_all(self, space, rtt, largest):
+        """Ack only `largest`, declaring everything below it lost."""
+        return space.on_ack_received(ack_of(largest), now=100.0, rtt=rtt)
+
+    def test_duration_spanning_run_detected(self):
+        space = PacketNumberSpace()
+        rtt = RttEstimator()
+        rtt.update(0.1)
+        duration = rtt.pto() * 3
+        for pn in range(4):
+            space.on_packet_sent(sent(pn, t=pn * duration / 2))
+        space.on_packet_sent(sent(4, t=99.0))
+        result = self._lose_all(space, rtt, 4)
+        assert len(result.lost) == 4
+        assert space.persistent_congestion(result.lost, duration)
+
+    def test_short_run_not_persistent(self):
+        space = PacketNumberSpace()
+        rtt = RttEstimator()
+        rtt.update(0.1)
+        duration = rtt.pto() * 3
+        # All losses inside one duration window: not persistent.
+        for pn in range(4):
+            space.on_packet_sent(sent(pn, t=pn * duration / 8))
+        space.on_packet_sent(sent(4, t=99.0))
+        result = self._lose_all(space, rtt, 4)
+        assert not space.persistent_congestion(result.lost, duration)
+
+    def test_acked_packet_breaks_run(self):
+        space = PacketNumberSpace()
+        rtt = RttEstimator()
+        rtt.update(0.1)
+        duration = rtt.pto() * 3
+        for pn in range(5):
+            space.on_packet_sent(sent(pn, t=pn * duration / 2))
+        space.on_packet_sent(sent(5, t=99.0))
+        # Packet 2 is delivered: it splits the loss run in two halves,
+        # neither of which spans the duration on its own.
+        ack = AckFrame(ranges=RangeSet([range(2, 3), range(5, 6)]))
+        result = space.on_ack_received(ack, now=100.0, rtt=rtt)
+        assert [p.packet_number for p in result.lost] == [0, 1, 3, 4]
+        assert not space.persistent_congestion(result.lost, duration)
+
+    def test_single_loss_never_persistent(self):
+        space = PacketNumberSpace()
+        rtt = RttEstimator()
+        rtt.update(0.1)
+        space.on_packet_sent(sent(0, t=0.0))
+        space.on_packet_sent(sent(1, t=99.0))
+        result = self._lose_all(space, rtt, 1)
+        assert not space.persistent_congestion(result.lost, rtt.pto() * 3)

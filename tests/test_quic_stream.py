@@ -94,6 +94,42 @@ class TestSendStream:
         s.update_max_stream_data(5)
         assert s.max_stream_data == 10
 
+    def test_fin_at_limit_still_pending_and_sendable(self):
+        # The FIN-at-limit edge: every data byte left exactly at
+        # max_stream_data and only the FIN remains.  The empty FIN frame
+        # consumes no flow-control credit, so the stream must keep
+        # reporting pending work and emit the FIN-only frame.
+        s = self.make(limit=4)
+        s.write(b"abcd")
+        s.finish()
+        offset, data, fin = s.next_chunk(100)
+        assert (offset, data, fin) == (0, b"abcd", True)
+        # The data+FIN frame is lost; only the FIN needs resending and
+        # the final offset sits exactly at the limit.
+        s.on_ack(0, 4, False)
+        s.on_loss(0, 4, True)
+        assert s.has_pending
+        offset, data, fin = s.next_chunk(100)
+        assert (offset, data, fin) == (4, b"", True)
+        assert not s.has_pending
+
+    def test_flow_blocked_stream_reports_no_pending(self):
+        # While every pending byte sits at/above the peer's limit the
+        # stream is flow-blocked, and a FIN queued behind that data
+        # cannot jump the queue: scheduling it would only stall the
+        # packet builder and starve other streams.
+        s = self.make(limit=4)
+        s.write(b"abcdefgh")
+        s.finish()
+        s.next_chunk(100)  # sends b"abcd", now blocked at the limit
+        assert not s.has_pending
+        assert s.next_chunk(100) is None
+        assert s.blocked
+        s.update_max_stream_data(8)
+        assert s.has_pending
+        offset, data, fin = s.next_chunk(100)
+        assert (offset, data, fin) == (4, b"efgh", True)
+
     @given(st.lists(st.binary(min_size=1, max_size=50), max_size=20),
            st.integers(1, 17))
     @settings(max_examples=100)

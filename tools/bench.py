@@ -3,14 +3,14 @@
 
 Runs the Table-3 / §4.6-style workloads across every layer the fast-path
 engine touches — plus the many-connection ``quic-scale`` lifecycle
-workload, the NAT-rebinding ``migration`` workload and the batched-
-datapath ``goodput`` A/B — and writes ``BENCH_pr8.json`` at the
-repository root, the trajectory file that future PRs compare themselves
-against.
+workload, the NAT-rebinding ``migration`` workload, the batched-datapath
+``goodput`` A/B and the RFC 9002 ``lossy-recovery`` A/B — and writes
+``BENCH_pr10.json`` at the repository root, the trajectory file that
+future PRs compare themselves against.
 
 Usage (from the repository root)::
 
-    python tools/bench.py            # full run, writes BENCH_pr8.json
+    python tools/bench.py            # full run, writes BENCH_pr10.json
     python tools/bench.py --quick    # smaller iteration counts (CI smoke)
     python tools/bench.py --quick --check
                                      # additionally fail on >2x regression
@@ -70,6 +70,12 @@ TRACE_OVERHEAD_LIMIT_PCT = 5.0
 #: path must move bulk data at least this many times faster (wall-clock)
 #: than the same transfer with ``REPRO_BATCH=0``, plugins attached.
 MIN_GOODPUT_SPEEDUP = 2.0
+#: Acceptance floor for RFC 9002 loss recovery: goodput under 2% ambient
+#: loss with PTO probes must be *strictly* above the legacy
+#: declare-all-lost baseline.  Measured in deterministic simulated time
+#: (identical seeded topology), so the ratio cannot flake with machine
+#: load.
+MIN_LOSSY_RECOVERY_SPEEDUP = 1.0
 
 
 def _time(fn, *args):
@@ -675,6 +681,104 @@ def bench_goodput(quick: bool) -> dict:
     }
 
 
+def _lossy_recovery_transfer(size: int, declare_all: bool,
+                             episodes: int) -> dict:
+    """One bulk upload over a 50 ms-RTT, 2 %-loss path with the
+    monitoring plugin attached, punctuated by deterministic delayed-ACK
+    episodes (the return path stalls for 350 ms, then recovers — think
+    bufferbloat bursts).  Each episode expires the PTO timer without any
+    forward loss: the RFC 9002 path sends <= 2 probes and keeps its
+    window; ``declare_all`` instead toggles the legacy PTO response that
+    declares whole flights lost, retransmitting delivered data and
+    collapsing cwnd.  Both runs share the seeded topology, so the
+    simulated completion time is deterministic and the ratio cannot
+    flake with machine load."""
+    from repro.core.plugin import PluginInstance
+    from repro.netsim import Simulator, symmetric_topology
+    from repro.plugins import build_monitoring_plugin
+    from repro.quic import (
+        ClientEndpoint,
+        QuicConfiguration,
+        ServerEndpoint,
+    )
+
+    sim = Simulator()
+    topo = symmetric_topology(sim, d_ms=25, bw_mbps=10, loss_pct=2.0,
+                              seed=11, buffer_bytes=256 * 1024)
+    received = bytearray()
+    done = [False]
+
+    def on_conn(conn):
+        PluginInstance(build_monitoring_plugin(), conn).attach()
+        conn.on_stream_data = lambda sid, d, fin: (
+            received.extend(d), done.__setitem__(0, fin))
+
+    ServerEndpoint(sim, topo.server, "server.0", 443, on_connection=on_conn)
+    cfg = QuicConfiguration(is_client=True, declare_all_on_pto=declare_all)
+    client = ClientEndpoint(sim, topo.client, "client.0", 5000,
+                            "server.0", 443, configuration=cfg)
+    PluginInstance(build_monitoring_plugin(), client.conn).attach()
+
+    client.connect()
+    assert sim.run_until(lambda: client.conn.is_established, timeout=10)
+    bulk_start = sim.now
+
+    base_delay = topo.path_links[0].backward.delay
+
+    def bulk():
+        sid = client.conn.create_stream()
+        client.conn.send_stream_data(sid, b"r" * size, fin=True)
+        client.pump()
+        for _ in range(episodes):
+            sim.run(until=sim.now + 0.4)
+            if done[0]:
+                break
+            for link in topo.path_links:
+                link.backward.delay = 0.35
+            sim.run(until=sim.now + 0.35)
+            for link in topo.path_links:
+                link.backward.delay = base_delay
+        assert sim.run_until(lambda: done[0], timeout=600)
+
+    t, _ = _time(bulk)
+    assert len(received) == size
+    stats = client.conn.stats
+    assert stats["pto_fired"] > 0  # the stalls really expired the timer
+    if declare_all:
+        assert stats["probes_sent"] == 0  # legacy flag really engaged
+    return {"wall_s": t, "sim_s": sim.now - bulk_start,
+            "pto_fired": stats["pto_fired"],
+            "probes_sent": stats["probes_sent"],
+            "packets_lost": stats["packets_lost"]}
+
+
+def bench_lossy_recovery(quick: bool) -> dict:
+    """RFC 9002 loss-recovery A/B: the same 2 %-loss bulk transfer with
+    PTO probes (default) versus the legacy declare-everything-lost PTO
+    response (``declare_all_on_pto``).  Goodput is computed from the
+    deterministic *simulated* completion time; ``--check`` enforces the
+    strict ``MIN_LOSSY_RECOVERY_SPEEDUP`` floor (probing must beat the
+    collapse-the-window baseline outright)."""
+    size = 400_000 if quick else 1_500_000
+    episodes = 3 if quick else 8
+    rfc = _lossy_recovery_transfer(size, declare_all=False,
+                                   episodes=episodes)
+    legacy = _lossy_recovery_transfer(size, declare_all=True,
+                                      episodes=episodes)
+    print(f"    lossy-recovery: rfc sim-time {rfc['sim_s']:.2f}s"
+          f" ({rfc['pto_fired']} PTOs, {rfc['probes_sent']} probes,"
+          f" {rfc['packets_lost']} lost) vs legacy {legacy['sim_s']:.2f}s"
+          f" ({legacy['pto_fired']} PTOs, {legacy['packets_lost']} lost)")
+    return {
+        "lossy_recovery_goodput_bytes_per_sec":
+            (size / rfc["sim_s"], "B/s"),
+        "lossy_recovery_legacy_bytes_per_sec":
+            (size / legacy["sim_s"], "B/s"),
+        "lossy_recovery_speedup":
+            (legacy["sim_s"] / rfc["sim_s"], "x"),
+    }
+
+
 WORKLOADS = [
     ("pre-kernel", bench_pre_kernel),
     ("analysis", bench_analysis),
@@ -687,6 +791,7 @@ WORKLOADS = [
     ("quic-scale", bench_quic_scale),
     ("migration", bench_migration),
     ("goodput", bench_goodput),
+    ("lossy-recovery", bench_lossy_recovery),
 ]
 
 
@@ -750,9 +855,9 @@ def main(argv=None) -> int:
                         help="run each workload under cProfile and print "
                              "the top 25 functions by cumulative time")
     parser.add_argument("--output", type=pathlib.Path,
-                        default=ROOT / "BENCH_pr8.json")
+                        default=ROOT / "BENCH_pr10.json")
     parser.add_argument("--baseline", type=pathlib.Path,
-                        default=ROOT / "BENCH_pr8.json",
+                        default=ROOT / "BENCH_pr10.json",
                         help="baseline file compared by --check")
     args = parser.parse_args(argv)
 
@@ -813,12 +918,23 @@ def main(argv=None) -> int:
         else:
             print(f"[bench] WARNING: {msg}")
 
+    lossy = metrics["lossy_recovery_speedup"]["value"]
+    if lossy <= MIN_LOSSY_RECOVERY_SPEEDUP:
+        msg = (f"lossy_recovery_speedup {lossy:.3f}x: goodput under 2% "
+               f"loss with PTO probes must be strictly above the "
+               f"declare-all-lost baseline (> "
+               f"{MIN_LOSSY_RECOVERY_SPEEDUP}x)")
+        if args.check:
+            failures.append(msg)
+        else:
+            print(f"[bench] WARNING: {msg}")
+
     if args.check:
         failures += check_regressions(metrics, args.baseline)
 
     report = {
         "schema": "pquic-bench-v1",
-        "pr": "pr8",
+        "pr": "pr10",
         "quick": args.quick,
         "python": sys.version.split()[0],
         "metrics": metrics,
